@@ -1,0 +1,94 @@
+//! The §6.7 extension: the background overflow reorganizer ("a simple
+//! process that reads files in their entirety and writes them in a large
+//! chunk … the long-term storage of the Hybrid scheme would be the same
+//! as the RAID5 scheme"). Measures the server-side compaction pass and
+//! the end-to-end rewrite path on the live cluster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use csar_cluster::Cluster;
+use csar_core::proto::{ReqHeader, Request, Scheme};
+use csar_core::server::{Effect, IoServer, ServerConfig};
+use csar_core::{Layout, Span};
+use csar_store::Payload;
+use std::hint::black_box;
+
+/// Build one server with `entries` fragmented overflow extents.
+fn fragmented_server(entries: u64) -> (IoServer, ReqHeader) {
+    let unit = 4096u64;
+    let hdr = ReqHeader { fh: 1, layout: Layout::new(3, unit), scheme: Scheme::Hybrid };
+    let mut s = IoServer::new(0, ServerConfig::default());
+    // Overwrite distinct sub-ranges of blocks homed on server 0 (blocks
+    // 0, 3, 6, … with 3 servers), twice each, to create dead log space.
+    for round in 0..2u64 {
+        for i in 0..entries {
+            let block = i * 3;
+            let span = Span { logical_off: block * unit + (round * 64) % unit, len: 64 };
+            s.handle(
+                0,
+                round * entries + i,
+                Request::OverflowWrite {
+                    hdr,
+                    spans: vec![(span, Payload::from_vec(vec![round as u8; 64]))],
+                    mirror: false,
+                },
+            );
+        }
+    }
+    (s, hdr)
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overflow_compaction");
+    group.sample_size(20);
+    for entries in [100u64, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &n| {
+            b.iter_batched(
+                || fragmented_server(n),
+                |(mut s, hdr)| {
+                    let e = s.handle(0, 999_999, Request::CompactOverflow { hdr });
+                    let Effect::Reply { resp, .. } = &e[0];
+                    black_box(resp.clone())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_reorganize_live(c: &mut Criterion) {
+    // The full reorganizer: read the file, rewrite it as whole stripes
+    // (invalidating every overflow extent), then compact the logs.
+    let mut group = c.benchmark_group("reorganize_live_cluster");
+    group.sample_size(10);
+    let len = 1u64 << 20;
+    group.throughput(Throughput::Bytes(len));
+    group.bench_function("read_rewrite_compact_1mb", |b| {
+        b.iter_batched(
+            || {
+                let cluster = Cluster::spawn(4, ServerConfig::default());
+                let client = cluster.client();
+                let f = client.create("frag", Scheme::Hybrid, 16 * 1024).unwrap();
+                f.write_at(0, &vec![1u8; len as usize]).unwrap();
+                // Fragment it with scattered partial writes.
+                for i in 0..64u64 {
+                    f.write_at(i * 16_000 + 7, &[9u8; 500]).unwrap();
+                }
+                (cluster, f)
+            },
+            |(cluster, f)| {
+                let all = f.read_at(0, len).unwrap();
+                f.write_at(0, &all).unwrap();
+                f.compact_overflow().unwrap();
+                let report = f.storage_report().unwrap();
+                cluster.shutdown();
+                black_box(report.total_bytes())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compaction, bench_reorganize_live);
+criterion_main!(benches);

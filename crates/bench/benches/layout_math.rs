@@ -1,0 +1,52 @@
+//! Striping / parity-group arithmetic throughput: the per-request planning
+//! cost every CSAR client pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use csar_core::Layout;
+use std::hint::black_box;
+
+fn bench_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_split");
+    let ly = Layout::new(6, 64 * 1024);
+    for (name, off, len) in [
+        ("4mb_unaligned", 123_456u64, 4u64 << 20),
+        ("small_in_group", 123_456, 16 << 10),
+        ("straddle_two_groups", 5 * 64 * 1024 - 100, 300),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(off, len), |b, &(o, l)| {
+            b.iter(|| ly.split_write(black_box(o), black_box(l)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span_decomposition");
+    let ly = Layout::new(6, 64 * 1024);
+    for len in [256u64 << 10, 4 << 20, 64 << 20] {
+        group.throughput(Throughput::Bytes(len));
+        group.bench_with_input(BenchmarkId::new("spans", len), &len, |b, &l| {
+            b.iter(|| ly.spans(black_box(777), black_box(l)));
+        });
+        group.bench_with_input(BenchmarkId::new("spans_by_server", len), &len, |b, &l| {
+            b.iter(|| ly.spans_by_server(black_box(777), black_box(l)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_math(c: &mut Criterion) {
+    let ly = Layout::new(6, 64 * 1024);
+    c.bench_function("parity_server_lookup_x1000", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for g in 0..1000u64 {
+                acc = acc.wrapping_add(ly.parity_server(black_box(g)));
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, bench_split, bench_spans, bench_group_math);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Parity-lock table throughput (§5.1): uncontended acquire/release,
+//! contended FIFO hand-off chains, and many-key workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csar_core::locks::ParityLockTable;
+use std::hint::black_box;
+
+fn bench_uncontended(c: &mut Criterion) {
+    c.bench_function("lock_acquire_release_uncontended", |b| {
+        let mut t: ParityLockTable<u32> = ParityLockTable::new();
+        b.iter(|| {
+            t.acquire(black_box((1, 7)), 0);
+            t.release(black_box((1, 7)));
+        });
+    });
+}
+
+fn bench_contended_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_handoff_chain");
+    for waiters in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(waiters), &waiters, |b, &w| {
+            b.iter(|| {
+                let mut t: ParityLockTable<usize> = ParityLockTable::new();
+                t.acquire((1, 0), 0);
+                for i in 1..=w {
+                    t.acquire((1, 0), i);
+                }
+                // Drain the chain.
+                while t.release((1, 0)).is_some() {}
+                black_box(t.held_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_many_keys(c: &mut Criterion) {
+    c.bench_function("lock_1000_distinct_groups", |b| {
+        b.iter(|| {
+            let mut t: ParityLockTable<u32> = ParityLockTable::new();
+            for g in 0..1000u64 {
+                t.acquire((1, g), 0);
+            }
+            for g in 0..1000u64 {
+                t.release((1, g));
+            }
+            black_box(t.held_count())
+        });
+    });
+}
+
+criterion_group!(benches, bench_uncontended, bench_contended_chain, bench_many_keys);
+criterion_main!(benches);

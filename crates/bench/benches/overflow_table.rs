@@ -1,0 +1,62 @@
+//! Overflow-table operations (the Hybrid scheme's per-partial-write
+//! bookkeeping): insert, lookup, invalidate, and fragmented-table scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csar_core::overflow::OverflowTable;
+use std::hint::black_box;
+
+fn fragmented_table(entries: u64) -> OverflowTable {
+    let mut t = OverflowTable::new();
+    for i in 0..entries {
+        // Interleaved live extents with gaps.
+        t.insert(i * 200, 100, i * 100);
+    }
+    t
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overflow_insert");
+    for entries in [100u64, 1000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &n| {
+            b.iter(|| {
+                let mut t = OverflowTable::new();
+                for i in 0..n {
+                    t.insert(black_box(i * 200), 100, i * 100);
+                }
+                black_box(t.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overflow_lookup");
+    for entries in [100u64, 10_000] {
+        let t = fragmented_table(entries);
+        group.bench_with_input(BenchmarkId::new("hit", entries), &t, |b, t| {
+            b.iter(|| black_box(t.lookup(black_box(entries * 100), 400)));
+        });
+        group.bench_with_input(BenchmarkId::new("miss", entries), &t, |b, t| {
+            b.iter(|| black_box(t.lookup(black_box(entries * 200 + 1000), 50)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_invalidate(c: &mut Criterion) {
+    c.bench_function("overflow_invalidate_spanning_many", |b| {
+        b.iter_batched(
+            || fragmented_table(1000),
+            |mut t| {
+                // One full-stripe write invalidating a broad range.
+                t.invalidate(black_box(50_000), 100_000);
+                black_box(t.len())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_lookup, bench_invalidate);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Per-write client planning cost of each redundancy scheme: the full
+//! driver run (plan → parity compute → request batches) against
+//! instantly-answering servers. Isolates CSAR's client-side CPU overhead
+//! from network/disk time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use csar_core::client::{run_driver, WriteDriver};
+use csar_core::manager::FileMeta;
+use csar_core::proto::Scheme;
+use csar_core::server::{Effect, IoServer, ServerConfig};
+use csar_core::Layout;
+use csar_store::Payload;
+use std::hint::black_box;
+
+struct Instant {
+    servers: Vec<IoServer>,
+    next: u64,
+}
+
+impl Instant {
+    fn new(n: u32) -> Self {
+        Self { servers: (0..n).map(|i| IoServer::new(i, ServerConfig::default())).collect(), next: 0 }
+    }
+
+    fn write(&mut self, meta: &FileMeta, off: u64, payload: Payload) {
+        let mut d = WriteDriver::new(meta, off, payload);
+        run_driver(&mut d, |batch| {
+            let mut replies = Vec::with_capacity(batch.len());
+            for (srv, req) in batch {
+                let id = self.next;
+                self.next += 1;
+                let effects = self.servers[srv as usize].handle(0, id, req);
+                for Effect::Reply { resp, .. } in effects {
+                    replies.push(resp);
+                }
+            }
+            Ok(replies)
+        })
+        .expect("write failed");
+    }
+}
+
+fn bench_write_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_planning");
+    let unit = 64 * 1024u64;
+    let layout = Layout::new(6, unit);
+    let payload_4m = Payload::from_vec(vec![0x5au8; 4 << 20]);
+    let payload_16k = Payload::from_vec(vec![0xa5u8; 16 << 10]);
+    for scheme in [Scheme::Raid0, Scheme::Raid1, Scheme::Raid5, Scheme::Hybrid] {
+        let meta =
+            FileMeta { fh: 1, name: "b".into(), scheme, layout, size: 0 };
+        group.throughput(Throughput::Bytes(4 << 20));
+        group.bench_with_input(
+            BenchmarkId::new("unaligned_4mb", scheme.label()),
+            &meta,
+            |b, meta| {
+                let mut cl = Instant::new(6);
+                // Pre-write so RMW paths have old data.
+                cl.write(meta, 0, Payload::from_vec(vec![1u8; 8 << 20]));
+                b.iter(|| cl.write(black_box(meta), 12_345, payload_4m.clone()));
+            },
+        );
+        group.throughput(Throughput::Bytes(16 << 10));
+        group.bench_with_input(
+            BenchmarkId::new("small_16k", scheme.label()),
+            &meta,
+            |b, meta| {
+                let mut cl = Instant::new(6);
+                cl.write(meta, 0, Payload::from_vec(vec![1u8; 1 << 20]));
+                b.iter(|| cl.write(black_box(meta), 4_321, payload_16k.clone()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_planning);
+criterion_main!(benches);

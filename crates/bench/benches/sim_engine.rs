@@ -1,0 +1,72 @@
+//! Simulator throughput: events per second of the discrete-event core
+//! and end-to-end simulated-bytes per wall-second of a representative
+//! run. Keeping this fast is what lets the `figures` binary regenerate
+//! the paper's full evaluation in minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use csar_core::proto::Scheme;
+use csar_sim::{HwProfile, Op, SimCluster};
+use std::hint::black_box;
+
+fn bench_phase_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_run_phase");
+    group.sample_size(20);
+    for scheme in [Scheme::Raid0, Scheme::Raid5, Scheme::Hybrid] {
+        let total = 64u64 << 20;
+        group.throughput(Throughput::Bytes(total));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let mut sim = SimCluster::new(HwProfile::test_profile(), 6, 4);
+                    let f = sim.create_file("bench", scheme, 64 * 1024);
+                    let phase: Vec<(usize, Vec<Op>)> = (0..4usize)
+                        .map(|cl| {
+                            let base = cl as u64 * (total / 4) + 333;
+                            (
+                                cl,
+                                (0..16u64)
+                                    .map(|i| Op::Write { file: f, off: base + i * (1 << 20), len: 1 << 20 })
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                    black_box(sim.run_phase(phase))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_small_request_storm(c: &mut Criterion) {
+    // Event-processing rate under many tiny requests (FLASH-like).
+    let mut group = c.benchmark_group("sim_small_requests");
+    group.sample_size(20);
+    group.bench_function("hybrid_2k_writes_x2000", |b| {
+        b.iter(|| {
+            let mut sim = SimCluster::new(HwProfile::test_profile(), 6, 2);
+            let f = sim.create_file("bench", Scheme::Hybrid, 64 * 1024);
+            let phase: Vec<(usize, Vec<Op>)> = (0..2usize)
+                .map(|cl| {
+                    (
+                        cl,
+                        (0..1000u64)
+                            .map(|i| Op::Write {
+                                file: f,
+                                off: (cl as u64 * 1000 + i) * 3000,
+                                len: 2048,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            black_box(sim.run_phase(phase))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase_throughput, bench_small_request_storm);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Sparse-file (extent map) operations: the local-storage substrate every
+//! I/O server write and read goes through.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use csar_store::{Payload, SparseFile};
+use std::hint::black_box;
+
+fn bench_sequential_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_sequential_write");
+    for chunk in [4usize << 10, 64 << 10] {
+        let total = 16usize << 20;
+        group.throughput(Throughput::Bytes(total as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &ch| {
+            let payload = Payload::from_vec(vec![9u8; ch]);
+            b.iter(|| {
+                let mut f = SparseFile::new();
+                let mut off = 0u64;
+                while off < total as u64 {
+                    f.write(off, payload.clone());
+                    off += ch as u64;
+                }
+                black_box(f.covered())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_overwrite_splitting(c: &mut Criterion) {
+    c.bench_function("sparse_overwrite_mid_extents", |b| {
+        b.iter_batched(
+            || {
+                let mut f = SparseFile::new();
+                for i in 0..256u64 {
+                    f.write(i * 8192, Payload::from_vec(vec![1u8; 4096]));
+                }
+                f
+            },
+            |mut f| {
+                // Unaligned overwrite crossing many extents.
+                f.write(1000, Payload::from_vec(vec![2u8; 1 << 20]));
+                black_box(f.extent_count())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut f = SparseFile::new();
+    for i in 0..1024u64 {
+        f.write(i * 8192, Payload::from_vec(vec![1u8; 4096]));
+    }
+    let mut group = c.benchmark_group("sparse_read");
+    group.throughput(Throughput::Bytes(1 << 20));
+    group.bench_function("zero_filled_holey_1mb", |b| {
+        b.iter(|| black_box(f.read_zero_filled(black_box(123), 1 << 20)));
+    });
+    group.bench_function("range_probes_x1000", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for i in 0..1000u64 {
+                if f.range_touches(i * 8000, 4096) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential_writes, bench_overwrite_splitting, bench_reads);
+criterion_main!(benches);

@@ -1,0 +1,307 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [fig1|fig3|fig4a|fig4b|fig5|fig6|fig7|fig8|table2|all] [--scale S]
+//! ```
+//!
+//! Prints each figure as an aligned text table (the series the paper
+//! plots). `--scale` shrinks data volumes and caches proportionally for
+//! quick runs; shapes are preserved.
+
+use csar_bench::figures::{self, FigOpts};
+use csar_bench::harness::render_table;
+use csar_bench::trends;
+use serde_json::json;
+use std::cell::RefCell;
+
+// Collected machine-readable results for --json.
+thread_local! {
+    static JSON_OUT: RefCell<serde_json::Map<String, serde_json::Value>> =
+        RefCell::new(serde_json::Map::new());
+}
+
+fn record(key: &str, value: serde_json::Value) {
+    JSON_OUT.with(|m| {
+        m.borrow_mut().insert(key.to_string(), value);
+    });
+}
+
+fn series_json(series: &[csar_bench::Series]) -> serde_json::Value {
+    json!(series
+        .iter()
+        .map(|s| json!({ "label": s.label, "points": s.points }))
+        .collect::<Vec<_>>())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut scale = 1.0f64;
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --scale"));
+            }
+            "--json" => {
+                json_path = Some(it.next().cloned().unwrap_or_else(|| usage("missing path for --json")));
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".into());
+    }
+    let opts = FigOpts { scale };
+    let all = which.iter().any(|w| w == "all");
+    let wants = |name: &str| all || which.iter().any(|w| w == name);
+
+    if wants("fig1") {
+        fig1();
+    }
+    if wants("fig3") {
+        fig3(&opts);
+    }
+    if wants("fig4a") {
+        fig4a(&opts);
+    }
+    if wants("fig4b") {
+        fig4b(&opts);
+    }
+    if wants("fig5") {
+        fig5(&opts);
+    }
+    if wants("fig6") {
+        fig67(&opts, csar_workloads::btio::Class::B, "Figure 6: BTIO Class B");
+    }
+    if wants("fig7") {
+        fig67(&opts, csar_workloads::btio::Class::C, "Figure 7: BTIO Class C");
+    }
+    if wants("fig8") {
+        fig8(&opts);
+    }
+    if wants("table2") {
+        table2(&opts);
+    }
+    if wants("extensions") || which.iter().any(|w| w.starts_with("ext")) {
+        extensions(&opts);
+    }
+    if let Some(path) = json_path {
+        let doc = JSON_OUT.with(|m| serde_json::Value::Object(m.borrow().clone()));
+        let body = serde_json::to_string_pretty(&json!({ "scale": scale, "results": doc }))
+            .expect("serialize results");
+        std::fs::write(&path, body).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("
+wrote machine-readable results to {path}");
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: figures [fig1|fig3|fig4a|fig4b|fig5|fig6|fig7|fig8|table2|extensions|all] [--scale S]"
+    );
+    std::process::exit(2);
+}
+
+fn header(title: &str) {
+    println!("\n======================================================================");
+    println!("{title}");
+    println!("======================================================================");
+}
+
+fn fig1() {
+    header("Figure 1: time to fill a disk to capacity over the years");
+    println!("{:>6} {:>22} {:>14} {:>12} {:>14}", "year", "drive", "capacity MB", "MB/s", "fill minutes");
+    for g in trends::GENERATIONS {
+        let minutes = g.capacity_mb / g.bandwidth_mb_s / 60.0;
+        println!(
+            "{:>6} {:>22} {:>14.0} {:>12.1} {:>14.1}",
+            g.year, g.model, g.capacity_mb, g.bandwidth_mb_s, minutes
+        );
+    }
+    let (cap, bw) = trends::fitted_rates();
+    println!("\nfitted growth: capacity {cap:.2}x/yr, bandwidth {bw:.2}x/yr");
+    println!("(paper: capacity ~1.6x/yr, data-path bandwidths ~1.2-1.25x/yr)");
+}
+
+fn fig3(opts: &FigOpts) {
+    header("Figure 3: parity-lock overhead (5 clients, one stripe, 6 servers)");
+    let rows = figures::fig3(opts);
+    record("fig3", serde_json::json!(rows));
+    for (label, mbps) in &rows {
+        println!("{label:>12}: {mbps:>8.1} MB/s");
+    }
+    let nolock = rows.iter().find(|(l, _)| l == "R5-NOLOCK").map(|(_, v)| *v).unwrap_or(0.0);
+    let locked = rows.iter().find(|(l, _)| l == "RAID5").map(|(_, v)| *v).unwrap_or(0.0);
+    if nolock > 0.0 {
+        println!(
+            "\nlocking overhead: {:.0}% (paper: ~20%)",
+            (1.0 - locked / nolock) * 100.0
+        );
+    }
+}
+
+fn fig4a(opts: &FigOpts) {
+    header("Figure 4(a): full-stripe write bandwidth vs I/O servers");
+    let series = figures::fig4a(opts);
+    record("fig4a", series_json(&series));
+    print!("{}", render_table("servers", "MB/s", &series));
+    let r5 = figures::series(&series, "RAID5").last();
+    let npc = figures::series(&series, "RAID5-npc").last();
+    let r0 = figures::series(&series, "RAID0").last();
+    println!(
+        "\nat 7 servers: RAID5/RAID0 = {:.2} (paper: 0.73); parity-compute cost = {:.0}% (paper: ~8%)",
+        r5 / r0,
+        (1.0 - r5 / npc) * 100.0
+    );
+}
+
+fn fig4b(opts: &FigOpts) {
+    header("Figure 4(b): one-block write bandwidth vs I/O servers");
+    let series = figures::fig4b(opts);
+    record("fig4b", series_json(&series));
+    print!("{}", render_table("servers", "MB/s", &series));
+}
+
+fn fig5(opts: &FigOpts) {
+    header("Figure 5: ROMIO perf (8 servers)");
+    let (read, write) = figures::fig5(opts);
+    record("fig5_read", series_json(&read));
+    record("fig5_write", series_json(&write));
+    println!("(a) read bandwidth:");
+    print!("{}", render_table("clients", "MB/s", &read));
+    println!("(b) write bandwidth (after flush):");
+    print!("{}", render_table("clients", "MB/s", &write));
+}
+
+fn fig67(opts: &FigOpts, class: csar_workloads::btio::Class, title: &str) {
+    header(title);
+    let fig = figures::btio_figure(class, opts);
+    let key = match class {
+        csar_workloads::btio::Class::B => "fig6",
+        csar_workloads::btio::Class::C => "fig7",
+        csar_workloads::btio::Class::A => "btio_a",
+    };
+    record(&format!("{key}_initial"), series_json(&fig.initial));
+    record(&format!("{key}_overwrite"), series_json(&fig.overwrite));
+    println!("(a) initial write:");
+    print!("{}", render_table("procs", "MB/s", &fig.initial));
+    println!("(b) overwrite (file evicted from server caches):");
+    print!("{}", render_table("procs", "MB/s", &fig.overwrite));
+}
+
+fn fig8(opts: &FigOpts) {
+    header("Figure 8: application output time normalised to RAID0");
+    let rows = figures::fig8(opts);
+    record(
+        "fig8",
+        serde_json::json!(rows
+            .iter()
+            .map(|r| serde_json::json!({ "app": r.app, "normalized": r.normalized }))
+            .collect::<Vec<_>>()),
+    );
+    print!("{:>16}", "application");
+    for (label, _) in &rows[0].normalized {
+        print!(" {label:>10}");
+    }
+    println!();
+    for row in &rows {
+        print!("{:>16}", row.app);
+        for (_, t) in &row.normalized {
+            print!(" {t:>10.2}");
+        }
+        println!();
+    }
+}
+
+fn extensions(opts: &FigOpts) {
+    use csar_bench::extensions;
+    header("Extension 1: degraded-read bandwidth (one failed server, 6 servers)");
+    println!("{:>10} {:>12} {:>12} {:>8}", "scheme", "healthy", "degraded", "ratio");
+    for r in extensions::degraded_reads(opts) {
+        println!(
+            "{:>10} {:>9.1} MB/s {:>9.1} MB/s {:>7.2}x",
+            r.scheme,
+            r.healthy_mbps,
+            r.degraded_mbps,
+            r.healthy_mbps / r.degraded_mbps
+        );
+    }
+
+    header("Extension 2: Hybrid stripe-unit sweep (FLASH-like mix)");
+    println!("{:>10} {:>12} {:>12} {:>18}", "unit", "write MB/s", "expansion", "overflow fraction");
+    for r in extensions::stripe_unit_sweep(opts) {
+        println!(
+            "{:>8}KB {:>12.1} {:>11.2}x {:>17.2}",
+            r.unit >> 10,
+            r.write_mbps,
+            r.expansion,
+            r.overflow_fraction
+        );
+    }
+
+    header("Extension 3: write-size sweep — the 'best of both worlds' claim");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>22}",
+        "size", "RAID0", "RAID1", "RAID5", "Hybrid", "Hybrid/max(R1,R5)"
+    );
+    for r in extensions::write_size_sweep(opts) {
+        let best = r.of("RAID1").max(r.of("RAID5"));
+        println!(
+            "{:>8}KB {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>21.2}",
+            r.write_size >> 10,
+            r.of("RAID0"),
+            r.of("RAID1"),
+            r.of("RAID5"),
+            r.of("Hybrid"),
+            r.of("Hybrid") / best
+        );
+    }
+
+    header("Extension 4: the §5.2 ablation (overwrite/initial bandwidth ratio, BTIO-B, 9 procs)");
+    println!("{:>10} {:>12} {:>12} {:>12}", "scheme", "buffered", "unbuffered", "padded");
+    for r in extensions::write_buffering_ablation(opts) {
+        println!(
+            "{:>10} {:>12.2} {:>12.2} {:>12.2}",
+            r.scheme, r.buffered, r.unbuffered, r.padded
+        );
+    }
+
+    header("Extension 5: rebuild cost (bytes restored onto a replacement server)");
+    println!("{:>10} {:>12} {:>16}", "scheme", "file MB", "restored MB");
+    for r in extensions::rebuild_cost(opts) {
+        println!("{:>10} {:>12} {:>16.1}", r.scheme, r.file_bytes >> 20, r.restored_bytes as f64 / (1024.0 * 1024.0));
+    }
+}
+
+fn table2(opts: &FigOpts) {
+    header("Table 2: storage requirement (6 I/O servers)");
+    let rows = figures::table2(opts);
+    record(
+        "table2",
+        serde_json::json!(rows
+            .iter()
+            .map(|r| serde_json::json!({ "benchmark": r.benchmark, "totals": r.totals }))
+            .collect::<Vec<_>>()),
+    );
+    print!("{:>22}", "benchmark");
+    for (label, _) in &rows[0].totals {
+        print!(" {label:>10}");
+    }
+    println!();
+    for row in &rows {
+        print!("{:>22}", row.benchmark);
+        for (_, bytes) in &row.totals {
+            print!(" {:>7} MB", bytes >> 20);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,98 @@
+//! Replay an I/O trace under every redundancy scheme and compare.
+//!
+//! ```text
+//! replay <trace-file> [--servers N] [--unit BYTES] [--profile osc|p3]
+//! replay --demo
+//! ```
+//!
+//! Trace format: `client,write|read,offset,length` per line, `barrier`
+//! to synchronize phases, `#` comments, `k/m/g` size suffixes. See
+//! `csar_bench::trace`.
+
+use csar_bench::harness::run_fresh;
+use csar_bench::trace::{parse_trace, DEMO_TRACE};
+use csar_core::proto::Scheme;
+use csar_sim::HwProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut servers = 6u32;
+    let mut unit = 64 * 1024u64;
+    let mut profile = HwProfile::osc_itanium();
+    let mut path: Option<String> = None;
+    let mut demo = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--demo" => demo = true,
+            "--servers" => servers = need(it.next(), "--servers"),
+            "--unit" => unit = need(it.next(), "--unit"),
+            "--profile" => {
+                profile = match it.next().map(String::as_str) {
+                    Some("osc") => HwProfile::osc_itanium(),
+                    Some("p3") => HwProfile::myrinet_pentium3(),
+                    other => usage(&format!("unknown profile {other:?}")),
+                }
+            }
+            other if !other.starts_with('-') => path = Some(other.to_string()),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let text = if demo {
+        DEMO_TRACE.to_string()
+    } else {
+        let Some(p) = path else { usage("missing trace file (or --demo)") };
+        match std::fs::read_to_string(&p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let workload = match parse_trace(&text) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "trace: {} requests, {} clients, {:.1} MB written, {:.1} MB read, {} phase(s)",
+        workload.request_count(),
+        workload.clients(),
+        workload.bytes_written() as f64 / (1024.0 * 1024.0),
+        workload.bytes_read() as f64 / (1024.0 * 1024.0),
+        workload.phases.len(),
+    );
+    println!("cluster: {servers} servers, {unit} B stripe unit\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "scheme", "write MB/s", "read MB/s", "stored MB", "expansion", "lock waits"
+    );
+    for scheme in Scheme::MAIN {
+        let r = run_fresh(profile, servers, scheme, unit, &[], &workload);
+        let logical = workload.bytes_written().max(1);
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>12.1} {:>11.2}x {:>12}",
+            scheme.label(),
+            r.write_mbps,
+            r.read_mbps,
+            r.storage.total_bytes() as f64 / (1024.0 * 1024.0),
+            r.storage.total_bytes() as f64 / logical as f64,
+            r.locks.0,
+        );
+    }
+}
+
+fn need<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage(&format!("bad value for {flag}")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: replay <trace-file> [--servers N] [--unit BYTES] [--profile osc|p3] | --demo");
+    std::process::exit(2);
+}

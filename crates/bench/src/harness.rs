@@ -1,0 +1,227 @@
+//! Running workloads through the simulator and summarising results.
+
+use csar_core::proto::Scheme;
+use csar_core::DiskCost;
+use csar_sim::{HwProfile, RunStats, SimCluster};
+use csar_store::StorageReport;
+
+use csar_workloads::Workload;
+
+/// Summary of one simulated experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    pub scheme: Scheme,
+    pub servers: u32,
+    /// Makespan of the measured workload, ns.
+    pub duration_ns: u64,
+    /// Aggregate write bandwidth over the measured workload, MB/s.
+    pub write_mbps: f64,
+    /// Aggregate read bandwidth, MB/s.
+    pub read_mbps: f64,
+    /// Write bandwidth including the final flush, MB/s.
+    pub flushed_write_mbps: f64,
+    /// Per-server storage after the run (Table 2).
+    pub storage: StorageReport,
+    /// Parity-lock contention: (contended, acquired).
+    pub locks: (u64, u64),
+    /// Cluster-wide disk activity.
+    pub disk: DiskCost,
+}
+
+/// One plotted series: a scheme label and (x, MB/s or ratio) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// y value at the given x (exact match), if present.
+    pub fn at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| *px == x).map(|(_, y)| *y)
+    }
+
+    /// Final point's y value.
+    pub fn last(&self) -> f64 {
+        self.points.last().map(|(_, y)| *y).expect("empty series")
+    }
+}
+
+
+fn aggregate(stats: &[RunStats]) -> (u64, u64, u64, u64, u64) {
+    let duration: u64 = stats.iter().map(|s| s.duration_ns).sum();
+    let flushed: u64 = stats
+        .iter()
+        .map(|s| s.duration_ns)
+        .take(stats.len().saturating_sub(1))
+        .sum::<u64>()
+        + stats.last().map(|s| s.flushed_duration_ns).unwrap_or(0);
+    let bw: u64 = stats.iter().map(|s| s.bytes_written).sum();
+    let br: u64 = stats.iter().map(|s| s.bytes_read).sum();
+    (duration, flushed, bw, br, 0)
+}
+
+fn result_from(sim: &SimCluster, scheme: Scheme, files: usize, stats: &[RunStats]) -> ExperimentResult {
+    let (duration, flushed, bw, br, _) = aggregate(stats);
+    // Storage summed across every file the workload touched.
+    let mut per_server = vec![csar_store::StreamUsage::default(); sim.servers() as usize];
+    for f in 0..files {
+        for (i, u) in sim.storage_report(f).per_server.iter().enumerate() {
+            per_server[i].merge(u);
+        }
+    }
+    ExperimentResult {
+        scheme,
+        servers: sim.servers(),
+        duration_ns: duration,
+        write_mbps: csar_sim::mb_per_sec(bw, duration),
+        read_mbps: csar_sim::mb_per_sec(br, duration),
+        flushed_write_mbps: csar_sim::mb_per_sec(bw, flushed),
+        storage: StorageReport::new(per_server),
+        locks: sim.lock_contention(),
+        disk: sim.disk_totals(),
+    }
+}
+
+/// Run `setup` workloads (unmeasured) and then `measured` on a fresh
+/// cluster; returns the summary of the measured run.
+pub fn run_fresh(
+    profile: HwProfile,
+    servers: u32,
+    scheme: Scheme,
+    stripe_unit: u64,
+    setup: &[&Workload],
+    measured: &Workload,
+) -> ExperimentResult {
+    let clients = measured
+        .clients()
+        .max(setup.iter().map(|w| w.clients()).max().unwrap_or(0))
+        .max(1);
+    let mut sim = SimCluster::new(profile, servers, clients);
+    sim.set_op_overhead(measured.op_overhead_ns);
+    let files = measured.files().max(setup.iter().map(|w| w.files()).max().unwrap_or(1));
+    for f in 0..files {
+        let idx = sim.create_file(&format!("bench-{f}"), scheme, stripe_unit);
+        assert_eq!(idx, f, "workload files are indexed densely from 0");
+    }
+    for w in setup {
+        for phase in &w.phases {
+            sim.run_phase(phase.clone());
+        }
+    }
+    let stats: Vec<RunStats> =
+        measured.phases.iter().map(|p| sim.run_phase(p.clone())).collect();
+    result_from(&sim, scheme, files, &stats)
+}
+
+/// The paper's overwrite experiments: run `measured` once (initial
+/// write), evict the file from every server cache, run it again
+/// (overwrite of an existing, uncached file). Returns
+/// `(initial, overwrite)`.
+pub fn run_overwrite(
+    profile: HwProfile,
+    servers: u32,
+    scheme: Scheme,
+    stripe_unit: u64,
+    measured: &Workload,
+) -> (ExperimentResult, ExperimentResult) {
+    let clients = measured.clients().max(1);
+    let mut sim = SimCluster::new(profile, servers, clients);
+    sim.set_op_overhead(measured.op_overhead_ns);
+    let files = measured.files();
+    for f in 0..files {
+        let idx = sim.create_file(&format!("bench-{f}"), scheme, stripe_unit);
+        assert_eq!(idx, f, "workload files are indexed densely from 0");
+    }
+    let initial: Vec<RunStats> =
+        measured.phases.iter().map(|p| sim.run_phase(p.clone())).collect();
+    let initial_result = result_from(&sim, scheme, files, &initial);
+    for f in 0..files {
+        sim.evict_file(f);
+    }
+    sim.settle_disks();
+    let over: Vec<RunStats> = measured.phases.iter().map(|p| sim.run_phase(p.clone())).collect();
+    let over_result = result_from(&sim, scheme, files, &over);
+    (initial_result, over_result)
+}
+
+/// Render a set of series as an aligned text table (x column + one
+/// column per series), the form the paper's figures tabulate.
+pub fn render_table(xlabel: &str, ylabel: &str, series: &[Series]) -> String {
+    use std::fmt::Write;
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.dedup();
+    let mut out = String::new();
+    write!(out, "{xlabel:>12}").unwrap();
+    for s in series {
+        write!(out, " {:>12}", s.label).unwrap();
+    }
+    writeln!(out, "    [{ylabel}]").unwrap();
+    for x in xs {
+        write!(out, "{x:>12.0}").unwrap();
+        for s in series {
+            match s.at(x) {
+                Some(y) => write!(out, " {y:>12.1}").unwrap(),
+                None => write!(out, " {:>12}", "-").unwrap(),
+            }
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csar_workloads::microbench;
+
+    #[test]
+    fn run_fresh_produces_bandwidth_and_storage() {
+        let w = microbench::full_stripe_writes(0, 5 * 65536, 4, 8);
+        let r = run_fresh(HwProfile::test_profile(), 6, Scheme::Raid5, 65536, &[], &w);
+        assert!(r.write_mbps > 0.0);
+        assert_eq!(r.storage.aggregate().data, w.bytes_written());
+        // RAID5 on 6 servers: parity = data / 5.
+        assert_eq!(r.storage.aggregate().parity, w.bytes_written() / 5);
+    }
+
+    #[test]
+    fn run_overwrite_returns_two_results() {
+        let (create, writes) = microbench::small_writes(0, 65536, 32);
+        let _ = create;
+        let (initial, over) = run_overwrite(HwProfile::test_profile(), 4, Scheme::Raid5, 65536, &writes);
+        assert!(initial.write_mbps > 0.0 && over.write_mbps > 0.0);
+        // The overwrite pass needed disk pre-reads; the first did not.
+        assert!(over.disk.disk_read_bytes > initial.disk.disk_read_bytes);
+    }
+
+    #[test]
+    fn series_accessors() {
+        let s = Series { label: "x".into(), points: vec![(1.0, 10.0), (2.0, 20.0)] };
+        assert_eq!(s.at(1.0), Some(10.0));
+        assert_eq!(s.at(3.0), None);
+        assert_eq!(s.last(), 20.0);
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let s = vec![
+            Series { label: "A".into(), points: vec![(1.0, 1.5)] },
+            Series { label: "B".into(), points: vec![(1.0, 2.5), (2.0, 3.5)] },
+        ];
+        let t = render_table("x", "MB/s", &s);
+        assert!(t.contains("A"));
+        assert!(t.contains("3.5"));
+        assert!(t.lines().count() >= 3);
+    }
+
+    #[test]
+    fn op_overhead_slows_the_client() {
+        let mut w = microbench::full_stripe_writes(0, 5 * 65536, 4, 8);
+        let fast = run_fresh(HwProfile::test_profile(), 6, Scheme::Raid0, 65536, &[], &w);
+        w.op_overhead_ns = 50_000_000;
+        let slow = run_fresh(HwProfile::test_profile(), 6, Scheme::Raid0, 65536, &[], &w);
+        assert!(slow.write_mbps < 0.5 * fast.write_mbps);
+    }
+}

@@ -1,0 +1,19 @@
+//! # csar-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the CSAR paper's evaluation
+//! from the simulator (`figures` binary; see `DESIGN.md` §5 for the
+//! experiment index), and hosts the criterion microbenchmarks of the
+//! design-choice ablations (word-wise parity, lock manager, overflow
+//! table, write buffering, the §6.7 cleaner).
+//!
+//! The figure functions return structured series so the root test suite
+//! can assert the paper's *shapes* (orderings, ratios, crossovers)
+//! mechanically, and the binary can print the same rows the paper plots.
+
+pub mod extensions;
+pub mod figures;
+pub mod harness;
+pub mod trace;
+pub mod trends;
+
+pub use harness::{run_fresh, run_overwrite, ExperimentResult, Series};

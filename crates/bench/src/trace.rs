@@ -1,0 +1,178 @@
+//! Trace-driven workloads: parse a simple I/O trace and replay it under
+//! every redundancy scheme.
+//!
+//! Trace format (one record per line):
+//!
+//! ```text
+//! # comment
+//! <client>,<write|read>,<offset>,<length>[,<file>]
+//! barrier
+//! ```
+//!
+//! `barrier` ends the current phase (all listed clients synchronize, as
+//! at a collective-I/O step). Offsets/lengths accept `k`/`m`/`g`
+//! suffixes (KiB/MiB/GiB).
+
+use csar_sim::{Op, Phase};
+use csar_workloads::Workload;
+
+/// A parse failure with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn parse_size(s: &str, line: usize) -> Result<u64, TraceError> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 1u64 << 10),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 1 << 20),
+        Some('g') | Some('G') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|_| TraceError { line, message: format!("bad size '{s}'") })
+}
+
+/// Parse a trace into a [`Workload`] (files indexed densely from 0).
+pub fn parse_trace(text: &str) -> Result<Workload, TraceError> {
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut current: Vec<(usize, Vec<Op>)> = Vec::new();
+
+    let push_phase = |current: &mut Vec<(usize, Vec<Op>)>, phases: &mut Vec<Phase>| {
+        if !current.is_empty() {
+            phases.push(std::mem::take(current));
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("barrier") {
+            push_phase(&mut current, &mut phases);
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').map(str::trim).collect();
+        if parts.len() != 4 && parts.len() != 5 {
+            return Err(TraceError {
+                line: line_no,
+                message: format!("expected 'client,op,offset,length[,file]', got '{line}'"),
+            });
+        }
+        let file: usize = match parts.get(4) {
+            Some(f) => f
+                .parse()
+                .map_err(|_| TraceError { line: line_no, message: format!("bad file '{f}'") })?,
+            None => 0,
+        };
+        let client: usize = parts[0]
+            .parse()
+            .map_err(|_| TraceError { line: line_no, message: format!("bad client '{}'", parts[0]) })?;
+        let off = parse_size(parts[2], line_no)?;
+        let len = parse_size(parts[3], line_no)?;
+        if len == 0 {
+            return Err(TraceError { line: line_no, message: "zero-length record".into() });
+        }
+        let op = match parts[1].to_ascii_lowercase().as_str() {
+            "write" | "w" => Op::Write { file, off, len },
+            "read" | "r" => Op::Read { file, off, len },
+            other => {
+                return Err(TraceError { line: line_no, message: format!("bad op '{other}'") })
+            }
+        };
+        match current.iter_mut().find(|(c, _)| *c == client) {
+            Some((_, ops)) => ops.push(op),
+            None => current.push((client, vec![op])),
+        }
+    }
+    push_phase(&mut current, &mut phases);
+    if phases.is_empty() {
+        return Err(TraceError { line: 0, message: "empty trace".into() });
+    }
+    Ok(Workload { name: "trace".into(), phases, kernel_module: false, op_overhead_ns: 0 })
+}
+
+/// A small built-in demo trace (used by `replay --demo` and tests).
+pub const DEMO_TRACE: &str = "\
+# two clients checkpoint 8 MB each in 1 MB chunks, then read it back
+0,write,0,1m\n0,write,1m,1m\n0,write,2m,1m\n0,write,3m,1m
+1,write,4m,1m\n1,write,5m,1m\n1,write,6m,1m\n1,write,7m,1m
+barrier
+0,write,137,64k      # an unaligned small update
+barrier
+0,read,0,4m
+1,read,4m,4m
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_demo_trace() {
+        let w = parse_trace(DEMO_TRACE).unwrap();
+        assert_eq!(w.phases.len(), 3);
+        assert_eq!(w.clients(), 2);
+        assert_eq!(w.bytes_written(), 8 * (1 << 20) + (64 << 10));
+        assert_eq!(w.bytes_read(), 8 << 20);
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("64k", 1).unwrap(), 64 << 10);
+        assert_eq!(parse_size("4M", 1).unwrap(), 4 << 20);
+        assert_eq!(parse_size("1g", 1).unwrap(), 1 << 30);
+        assert_eq!(parse_size("123", 1).unwrap(), 123);
+        assert!(parse_size("x", 1).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skip() {
+        let w = parse_trace("# header\n\n0,write,0,1k # trailing\n").unwrap();
+        assert_eq!(w.request_count(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_trace("0,write,0,1k\n0,frobnicate,0,1k\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+        assert_eq!(parse_trace("nope\n").unwrap_err().line, 1);
+        assert_eq!(parse_trace("0,write,0,0\n").unwrap_err().message, "zero-length record");
+        assert!(parse_trace("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn optional_file_column() {
+        let w = parse_trace("0,w,0,1k
+0,w,0,1k,1
+0,w,0,1k,2
+").unwrap();
+        assert_eq!(w.files(), 3);
+        assert!(parse_trace("0,w,0,1k,x
+").is_err());
+    }
+
+    #[test]
+    fn barriers_split_phases_per_client() {
+        let w = parse_trace("0,w,0,1k\n1,w,1k,1k\nbarrier\n0,r,0,2k\n").unwrap();
+        assert_eq!(w.phases.len(), 2);
+        assert_eq!(w.phases[0].len(), 2);
+        assert_eq!(w.phases[1].len(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 1: the time to fill a disk to capacity over the years.
+//!
+//! The paper's motivation figure, drawn from Dahlin's technology-trends
+//! data: disk capacity grew ~1.6×/year while the data-path bandwidths
+//! (PCI 1.2×/yr, SCSI/internal ~1.25×/yr) lagged, so the minutes needed
+//! to write a full disk grew roughly tenfold over fifteen years. We
+//! reproduce the curve from era-representative drives and also fit the
+//! growth-rate model the paper quotes.
+
+/// One representative disk generation.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskGeneration {
+    pub year: u32,
+    pub model: &'static str,
+    pub capacity_mb: f64,
+    pub bandwidth_mb_s: f64,
+}
+
+/// Era-representative commodity drives (capacities/bandwidths from
+/// vendor data sheets of the period).
+pub const GENERATIONS: [DiskGeneration; 7] = [
+    DiskGeneration { year: 1985, model: "ST-412/CDC Wren", capacity_mb: 60.0, bandwidth_mb_s: 0.8 },
+    DiskGeneration { year: 1989, model: "CDC Wren IV", capacity_mb: 300.0, bandwidth_mb_s: 1.8 },
+    DiskGeneration { year: 1993, model: "Seagate ST12400", capacity_mb: 2_100.0, bandwidth_mb_s: 4.5 },
+    DiskGeneration { year: 1996, model: "Seagate Barracuda 4", capacity_mb: 4_300.0, bandwidth_mb_s: 9.0 },
+    DiskGeneration { year: 1998, model: "IBM Deskstar 25GP", capacity_mb: 25_000.0, bandwidth_mb_s: 14.0 },
+    DiskGeneration { year: 2000, model: "IBM 75GXP", capacity_mb: 61_400.0, bandwidth_mb_s: 32.0 },
+    DiskGeneration { year: 2002, model: "WD Caviar 120", capacity_mb: 122_900.0, bandwidth_mb_s: 45.0 },
+];
+
+/// Minutes required to write one full disk, per generation.
+pub fn minutes_to_fill() -> Vec<(u32, f64)> {
+    GENERATIONS
+        .iter()
+        .map(|g| (g.year, g.capacity_mb / g.bandwidth_mb_s / 60.0))
+        .collect()
+}
+
+/// Least-squares exponential growth rate (×/year) of a positive series.
+pub fn growth_rate(points: &[(u32, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points to fit a rate");
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for (year, v) in points {
+        let x = *year as f64;
+        let y = v.ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    slope.exp()
+}
+
+/// The capacity and bandwidth growth rates of the dataset.
+pub fn fitted_rates() -> (f64, f64) {
+    let cap: Vec<(u32, f64)> = GENERATIONS.iter().map(|g| (g.year, g.capacity_mb)).collect();
+    let bw: Vec<(u32, f64)> = GENERATIONS.iter().map(|g| (g.year, g.bandwidth_mb_s)).collect();
+    (growth_rate(&cap), growth_rate(&bw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_time_grows_roughly_tenfold_over_the_range() {
+        let m = minutes_to_fill();
+        let first = m.first().unwrap().1;
+        let last = m.last().unwrap().1;
+        let ratio = last / first;
+        assert!(
+            (8.0..50.0).contains(&ratio),
+            "fill-time growth {ratio:.1}× should be order-ten over ~17 years"
+        );
+    }
+
+    #[test]
+    fn fitted_rates_match_papers_quoted_trends() {
+        let (cap, bw) = fitted_rates();
+        assert!((1.45..1.75).contains(&cap), "capacity rate {cap:.2} ≈ 1.6×/yr");
+        assert!((1.15..1.40).contains(&bw), "bandwidth rate {bw:.2} ≈ 1.25×/yr");
+        assert!(cap > bw, "capacity must outgrow bandwidth — the paper's whole premise");
+    }
+
+    #[test]
+    fn growth_rate_of_exact_exponential() {
+        let pts: Vec<(u32, f64)> = (0..10).map(|i| (2000 + i, 1.5f64.powi(i as i32))).collect();
+        let r = growth_rate(&pts);
+        assert!((r - 1.5).abs() < 1e-9);
+    }
+}

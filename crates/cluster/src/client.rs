@@ -1,0 +1,271 @@
+//! Blocking client API over the channel transport.
+
+use crate::deploy::Inner;
+use crate::transport::{MgrMsg, ServerMsg};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use csar_core::client::{run_driver, OpOutput, ReadDriver, WriteDriver};
+use csar_core::manager::{FileMeta, MgrRequest, MgrResponse};
+use csar_core::proto::{ClientId, ReqHeader, Request, Response, Scheme, ServerId};
+use csar_core::{CsarError, Layout};
+use csar_store::{Payload, StorageReport};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A client's private connection state: reply channel, request-id
+/// allocator, and an operation lock (one outstanding operation at a time,
+/// like a PVFS library call).
+pub(crate) struct Handle {
+    inner: Arc<Inner>,
+    id: ClientId,
+    tx: Sender<(u64, Response)>,
+    rx: Receiver<(u64, Response)>,
+    next_req: AtomicU64,
+    op_lock: Mutex<()>,
+}
+
+impl Handle {
+    pub(crate) fn new(inner: Arc<Inner>) -> Self {
+        let id = inner.next_client.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = unbounded();
+        Self { inner, id, tx, rx, next_req: AtomicU64::new(1), op_lock: Mutex::new(()) }
+    }
+
+    fn fresh(&self) -> Handle {
+        Handle::new(Arc::clone(&self.inner))
+    }
+
+    /// Send a batch of requests and gather replies in request order.
+    /// Requests to failed servers are answered with `ServerDown` locally.
+    pub(crate) fn send_batch(
+        &self,
+        batch: Vec<(ServerId, Request)>,
+    ) -> Result<Vec<Response>, CsarError> {
+        let _guard = self.op_lock.lock();
+        let mut slots: Vec<Option<Response>> = vec![None; batch.len()];
+        let mut waiting: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (i, (srv, req)) in batch.into_iter().enumerate() {
+            if self.inner.down[srv as usize].load(Ordering::SeqCst) {
+                slots[i] = Some(Response::Err(CsarError::ServerDown(srv)));
+                continue;
+            }
+            let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+            waiting.insert(req_id, i);
+            self.inner.server_txs[srv as usize]
+                .send(ServerMsg::Req { from: self.id, req_id, req, reply_to: self.tx.clone() })
+                .map_err(|_| CsarError::Transport(format!("server {srv} channel closed")))?;
+        }
+        while !waiting.is_empty() {
+            let (req_id, resp) = self
+                .rx
+                .recv_timeout(std::time::Duration::from_secs(60))
+                .map_err(|_| CsarError::Transport("timed out waiting for replies".into()))?;
+            if let Some(i) = waiting.remove(&req_id) {
+                slots[i] = Some(resp);
+            }
+        }
+        Ok(slots.into_iter().map(|s| s.expect("reply slot unfilled")).collect())
+    }
+
+    /// Send one request and return its reply.
+    pub(crate) fn send_one(&self, srv: ServerId, req: Request) -> Result<Response, CsarError> {
+        Ok(self.send_batch(vec![(srv, req)])?.remove(0))
+    }
+
+    /// A manager round trip.
+    pub(crate) fn mgr(&self, req: MgrRequest) -> Result<MgrResponse, CsarError> {
+        let (tx, rx) = unbounded();
+        self.inner
+            .mgr_tx
+            .send(MgrMsg::Req { req, reply_to: tx })
+            .map_err(|_| CsarError::Transport("manager channel closed".into()))?;
+        rx.recv_timeout(std::time::Duration::from_secs(60))
+            .map_err(|_| CsarError::Transport("manager timed out".into()))
+    }
+
+    fn servers(&self) -> u32 {
+        self.inner.servers
+    }
+
+    fn failed(&self) -> Option<ServerId> {
+        self.inner
+            .down
+            .iter()
+            .position(|d| d.load(Ordering::SeqCst))
+            .map(|i| i as u32)
+    }
+}
+
+/// A client of the cluster: creates and opens files.
+///
+/// Each client (and each [`File`]) owns a private reply channel; use one
+/// per thread for concurrent workloads, exactly like independent PVFS
+/// library processes.
+pub struct ClusterClient {
+    handle: Handle,
+}
+
+impl ClusterClient {
+    pub(crate) fn new(handle: Handle) -> Self {
+        Self { handle }
+    }
+
+    pub(crate) fn handle(&self) -> &Handle {
+        &self.handle
+    }
+
+    /// Create a file striped over all servers with the given scheme and
+    /// stripe unit.
+    pub fn create(&self, name: &str, scheme: Scheme, stripe_unit: u64) -> Result<File, CsarError> {
+        let layout = Layout::new(self.handle.servers(), stripe_unit);
+        let meta = self
+            .handle
+            .mgr(MgrRequest::Create { name: name.into(), scheme, layout })?
+            .into_meta()?;
+        Ok(File { handle: self.handle.fresh(), meta: Mutex::new(meta) })
+    }
+
+    /// Open an existing file.
+    pub fn open(&self, name: &str) -> Result<File, CsarError> {
+        let meta = self.handle.mgr(MgrRequest::Open { name: name.into() })?.into_meta()?;
+        Ok(File { handle: self.handle.fresh(), meta: Mutex::new(meta) })
+    }
+
+    /// All file metadata known to the manager.
+    pub fn list_files(&self) -> Result<Vec<FileMeta>, CsarError> {
+        match self.handle.mgr(MgrRequest::List)? {
+            MgrResponse::List(files) => Ok(files),
+            MgrResponse::Err(e) => Err(e),
+            other => Err(CsarError::Protocol(format!("expected List, got {other:?}"))),
+        }
+    }
+
+    /// Send a raw protocol request to one I/O server — an escape hatch
+    /// for tooling, fault injection and tests. Normal I/O should use
+    /// [`File`].
+    pub fn send_raw(&self, srv: ServerId, req: Request) -> Result<Response, CsarError> {
+        self.handle.send_one(srv, req)
+    }
+
+    /// Remove a file's metadata (its server-side storage is left to the
+    /// harness to wipe; PVFS-era semantics).
+    pub fn remove(&self, name: &str) -> Result<(), CsarError> {
+        match self.handle.mgr(MgrRequest::Remove { name: name.into() })? {
+            MgrResponse::Ok => Ok(()),
+            MgrResponse::Err(e) => Err(e),
+            other => Err(CsarError::Protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+}
+
+/// An open CSAR file with a blocking positional API.
+pub struct File {
+    handle: Handle,
+    meta: Mutex<FileMeta>,
+}
+
+impl File {
+    /// Snapshot of the file's metadata.
+    pub fn meta(&self) -> FileMeta {
+        self.meta.lock().clone()
+    }
+
+    /// Current logical size.
+    pub fn size(&self) -> u64 {
+        self.meta.lock().size
+    }
+
+    fn hdr(&self) -> ReqHeader {
+        let m = self.meta.lock();
+        ReqHeader { fh: m.fh, layout: m.layout, scheme: m.scheme }
+    }
+
+    /// Write `data` at `off`.
+    pub fn write_at(&self, off: u64, data: &[u8]) -> Result<u64, CsarError> {
+        self.write_payload(off, Payload::from_vec(data.to_vec()))
+    }
+
+    /// Write a [`Payload`] at `off` (phantom payloads keep accounting
+    /// without storing bytes — used by size-only workload harnesses).
+    pub fn write_payload(&self, off: u64, payload: Payload) -> Result<u64, CsarError> {
+        let len = payload.len();
+        if len == 0 {
+            return Ok(0);
+        }
+        let meta = self.meta();
+        // Like reads, writes proceed around a fail-stopped server where
+        // the scheme's redundancy permits (see WriteDriver::new_degraded).
+        let failed = self.handle.failed();
+        let mut driver = WriteDriver::new_degraded(&meta, off, payload, failed);
+        let out = run_driver(&mut driver, |b| self.handle.send_batch(b))?;
+        let OpOutput::Written { bytes } = out else {
+            return Err(CsarError::Protocol("write returned a read output".into()));
+        };
+        // Report the new EOF to the manager (PVFS metadata update).
+        let end = off + len;
+        {
+            let mut m = self.meta.lock();
+            if end > m.size {
+                m.size = end;
+            }
+        }
+        self.handle.mgr(MgrRequest::SetSize { fh: meta.fh, size: end })?;
+        Ok(bytes)
+    }
+
+    /// Read `len` bytes at `off`. Falls back to a degraded read when a
+    /// server is failed; zero-fills unwritten ranges.
+    pub fn read_at(&self, off: u64, len: u64) -> Result<Vec<u8>, CsarError> {
+        match self.read_payload(off, len)? {
+            Payload::Data(b) => Ok(b.to_vec()),
+            Payload::Phantom(_) => Err(CsarError::Protocol(
+                "file contains phantom data; use read_payload".into(),
+            )),
+        }
+    }
+
+    /// Read `len` bytes at `off` as a [`Payload`].
+    pub fn read_payload(&self, off: u64, len: u64) -> Result<Payload, CsarError> {
+        if len == 0 {
+            return Ok(Payload::zeros(0));
+        }
+        let meta = self.meta();
+        let failed = self.handle.failed();
+        let mut driver = ReadDriver::new(&meta, off, len, failed);
+        let out = run_driver(&mut driver, |b| self.handle.send_batch(b))?;
+        Ok(out.into_payload())
+    }
+
+    /// Per-server storage usage for this file (paper Table 2).
+    pub fn storage_report(&self) -> Result<StorageReport, CsarError> {
+        let hdr = self.hdr();
+        let mut per_server = Vec::with_capacity(self.handle.servers() as usize);
+        for srv in 0..self.handle.servers() {
+            match self.handle.send_one(srv, Request::GetUsage { hdr })? {
+                Response::Usage { usage } => per_server.push(usage),
+                Response::Err(e) => return Err(e),
+                other => return Err(CsarError::Protocol(format!("expected Usage, got {other:?}"))),
+            }
+        }
+        Ok(StorageReport::new(per_server))
+    }
+
+    /// Drop this file from every server's page-cache model (the paper's
+    /// "contents have been removed from the cache" overwrite setup).
+    pub fn evict_caches(&self) -> Result<(), CsarError> {
+        let hdr = self.hdr();
+        for srv in 0..self.handle.servers() {
+            self.handle.send_one(srv, Request::EvictFile { hdr })?.into_done()?;
+        }
+        Ok(())
+    }
+
+    /// Run the §6.7 overflow compaction on every server.
+    pub fn compact_overflow(&self) -> Result<(), CsarError> {
+        let hdr = self.hdr();
+        for srv in 0..self.handle.servers() {
+            self.handle.send_one(srv, Request::CompactOverflow { hdr })?.into_done()?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,420 @@
+//! Cluster lifecycle: spawn, failure injection, rebuild, shutdown.
+
+use crate::client::{ClusterClient, Handle};
+use crate::node::{run_manager, run_server, SharedServer};
+use crate::transport::{MgrMsg, ServerMsg};
+use crossbeam::channel::{unbounded, Sender};
+use csar_core::manager::FileMeta;
+use csar_core::proto::{ParityPart, ReqHeader, Request, Scheme, ServerId};
+use csar_core::recovery::RebuildPlan;
+use csar_core::manager::Manager;
+use csar_core::server::{IoServer, ServerConfig, ServerImage};
+use csar_core::{CsarError, Span};
+use csar_parity::parity_of;
+use csar_store::Payload;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+pub(crate) struct Inner {
+    pub server_txs: Vec<Sender<ServerMsg>>,
+    pub mgr_tx: Sender<MgrMsg>,
+    pub shared: Vec<SharedServer>,
+    pub down: Vec<AtomicBool>,
+    pub next_client: AtomicU32,
+    pub servers: u32,
+}
+
+/// A running in-process CSAR cluster.
+///
+/// Spawns `n` I/O server threads and a manager thread. Cheap to share:
+/// [`Cluster::client`] hands out independent client handles that can be
+/// used from separate threads concurrently.
+pub struct Cluster {
+    pub(crate) inner: Arc<Inner>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Cluster {
+    /// Spawn a cluster of `n` I/O servers with the given server tuning.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn spawn(n: u32, cfg: ServerConfig) -> Self {
+        let engines = (0..n).map(|id| IoServer::new(id, cfg)).collect();
+        Self::spawn_engines(engines, cfg, Manager::new())
+    }
+
+    fn spawn_engines(engines: Vec<IoServer>, cfg: ServerConfig, mgr: Manager) -> Self {
+        let n = engines.len() as u32;
+        assert!(n > 0, "need at least one I/O server");
+        let mut server_txs = Vec::with_capacity(n as usize);
+        let mut shared = Vec::with_capacity(n as usize);
+        let mut threads = Vec::with_capacity(n as usize + 1);
+        for engine in engines {
+            let id = engine.id;
+            let (tx, rx) = unbounded::<ServerMsg>();
+            let engine: SharedServer = Arc::new(Mutex::new(engine));
+            let engine2 = Arc::clone(&engine);
+            threads.push(std::thread::Builder::new()
+                .name(format!("csar-iod-{id}"))
+                .spawn(move || run_server(id, cfg, rx, engine2))
+                .expect("spawn server thread"));
+            server_txs.push(tx);
+            shared.push(engine);
+        }
+        let (mgr_tx, mgr_rx) = unbounded::<MgrMsg>();
+        threads.push(std::thread::Builder::new()
+            .name("csar-mgr".into())
+            .spawn(move || run_manager(mgr_rx, mgr))
+            .expect("spawn manager thread"));
+        Cluster {
+            inner: Arc::new(Inner {
+                server_txs,
+                mgr_tx,
+                shared,
+                down: (0..n).map(|_| AtomicBool::new(false)).collect(),
+                next_client: AtomicU32::new(1),
+                servers: n,
+            }),
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// Persist the whole cluster — file metadata plus every server's
+    /// durable state — as JSON files under `dir` (created if absent).
+    ///
+    /// The cluster must be quiescent (no in-flight operations).
+    pub fn save_to(&self, dir: &std::path::Path) -> Result<(), CsarError> {
+        let io = |e: std::io::Error| CsarError::Transport(format!("save: {e}"));
+        std::fs::create_dir_all(dir).map_err(io)?;
+        let metas = self.client().list_files()?;
+        let mgr_json = serde_json::to_string(&metas)
+            .map_err(|e| CsarError::Transport(format!("save: {e}")))?;
+        std::fs::write(dir.join("manager.json"), mgr_json).map_err(io)?;
+        for srv in 0..self.servers() {
+            let image = self.with_server(srv, |s| s.export());
+            let body = serde_json::to_string(&image)
+                .map_err(|e| CsarError::Transport(format!("save: {e}")))?;
+            std::fs::write(dir.join(format!("server-{srv}.json")), body).map_err(io)?;
+        }
+        Ok(())
+    }
+
+    /// Reload a cluster previously written by [`Cluster::save_to`].
+    /// Server count comes from the snapshot; caches start cold.
+    pub fn load_from(dir: &std::path::Path, cfg: ServerConfig) -> Result<Cluster, CsarError> {
+        let io = |e: std::io::Error| CsarError::Transport(format!("load: {e}"));
+        let mgr_body = std::fs::read_to_string(dir.join("manager.json")).map_err(io)?;
+        let metas: Vec<FileMeta> = serde_json::from_str(&mgr_body)
+            .map_err(|e| CsarError::Transport(format!("load: {e}")))?;
+        let mut engines = Vec::new();
+        for srv in 0u32.. {
+            let path = dir.join(format!("server-{srv}.json"));
+            if !path.exists() {
+                break;
+            }
+            let body = std::fs::read_to_string(&path).map_err(io)?;
+            let image: ServerImage = serde_json::from_str(&body)
+                .map_err(|e| CsarError::Transport(format!("load: {e}")))?;
+            engines.push(IoServer::import(image, cfg));
+        }
+        if engines.is_empty() {
+            return Err(CsarError::Transport(format!(
+                "load: no server snapshots in {}",
+                dir.display()
+            )));
+        }
+        Ok(Self::spawn_engines(engines, cfg, Manager::import(metas)))
+    }
+
+    /// Number of I/O servers.
+    pub fn servers(&self) -> u32 {
+        self.inner.servers
+    }
+
+    /// A cheap handle sharing this cluster's transport (for daemons);
+    /// it performs no thread management and never shuts the cluster
+    /// down.
+    pub(crate) fn clone_ref(&self) -> Cluster {
+        Cluster { inner: Arc::clone(&self.inner), threads: Mutex::new(Vec::new()) }
+    }
+
+    /// A new independent client handle.
+    pub fn client(&self) -> ClusterClient {
+        ClusterClient::new(Handle::new(Arc::clone(&self.inner)))
+    }
+
+    /// Mark a server fail-stopped: clients get `ServerDown` instead of
+    /// service, and reads fall back to degraded mode.
+    pub fn fail_server(&self, id: ServerId) {
+        self.inner.down[id as usize].store(true, Ordering::SeqCst);
+    }
+
+    /// Bring a failed server back *with its old contents intact*
+    /// (a transient outage, e.g. a reboot).
+    ///
+    /// Only safe if nothing was written while the server was down;
+    /// degraded writes leave its contents stale, in which case use
+    /// [`Cluster::rebuild_server`] instead.
+    pub fn restore_server(&self, id: ServerId) {
+        self.inner.down[id as usize].store(false, Ordering::SeqCst);
+    }
+
+    /// Replace a failed server with a blank one (new disk): wipes its
+    /// state and marks it up. Use [`Cluster::rebuild_server`] to also
+    /// restore contents from redundancy.
+    pub fn replace_server(&self, id: ServerId) {
+        self.inner.down[id as usize].store(false, Ordering::SeqCst);
+        let client = self.client();
+        client
+            .handle()
+            .send_one(id, Request::Wipe)
+            .expect("wipe replacement server");
+    }
+
+    /// The first failed server, if any.
+    pub fn failed_server(&self) -> Option<ServerId> {
+        self.inner
+            .down
+            .iter()
+            .position(|d| d.load(Ordering::SeqCst))
+            .map(|i| i as u32)
+    }
+
+    /// Inspect a server's engine (store, cache, lock stats) in place.
+    pub fn with_server<R>(&self, id: ServerId, f: impl FnOnce(&IoServer) -> R) -> R {
+        let engine = self.inner.shared[id as usize].lock();
+        f(&engine)
+    }
+
+    /// Offline rebuild: replace `failed` with a blank server and restore
+    /// every file's lost pieces from redundancy (mirrors, parity groups,
+    /// overflow mirrors). Fails with `DataLoss` if any RAID0 file has
+    /// blocks on the failed server.
+    pub fn rebuild_server(&self, failed: ServerId) -> Result<(), CsarError> {
+        let client = self.client();
+        let files = client.list_files()?;
+        // RAID0 files with data there are unrecoverable; check before
+        // touching anything.
+        for meta in &files {
+            if meta.scheme == Scheme::Raid0 && meta.size > 0 {
+                let plan = RebuildPlan::for_file(meta, failed);
+                if !plan.data_blocks.is_empty() {
+                    return Err(CsarError::DataLoss(format!(
+                        "RAID0 file '{}' had blocks on server {failed}",
+                        meta.name
+                    )));
+                }
+            }
+        }
+        self.replace_server(failed);
+        for meta in &files {
+            self.rebuild_file(&client, meta, failed)?;
+        }
+        Ok(())
+    }
+
+    fn rebuild_file(
+        &self,
+        client: &ClusterClient,
+        meta: &FileMeta,
+        failed: ServerId,
+    ) -> Result<(), CsarError> {
+        let ly = meta.layout;
+        let unit = ly.stripe_unit;
+        let hdr = ReqHeader { fh: meta.fh, layout: ly, scheme: meta.scheme };
+        let plan = RebuildPlan::for_file(meta, failed);
+        let h = client.handle();
+
+        // --- lost data blocks ------------------------------------------------
+        for &b in &plan.data_blocks {
+            let len = unit.min(meta.size - b * unit);
+            let span = Span { logical_off: b * unit, len };
+            let content = match meta.scheme {
+                Scheme::Raid0 => unreachable!("checked by caller"),
+                Scheme::Raid1 => h
+                    .send_one(ly.mirror_server(b), Request::ReadMirror { hdr, spans: vec![span] })?
+                    .into_payload()?,
+                _ => {
+                    // XOR of the group's surviving in-place blocks + parity.
+                    let g = ly.group_of_block(b);
+                    let mut acc: Option<Payload> = None;
+                    for other in ly.group_blocks(g).filter(|x| *x != b) {
+                        let ospan = Span { logical_off: other * unit, len };
+                        let p = h
+                            .send_one(
+                                ly.home_server(other),
+                                Request::ReadData { hdr, spans: vec![ospan] },
+                            )?
+                            .into_payload()?;
+                        acc = Some(match acc {
+                            None => p,
+                            Some(a) => a.xor(&p),
+                        });
+                    }
+                    let parity = h
+                        .send_one(
+                            ly.parity_server(g),
+                            Request::ParityRead { hdr, group: g, intra: 0, len },
+                        )?
+                        .into_payload()?;
+                    match acc {
+                        None => parity,
+                        Some(a) => a.xor(&parity),
+                    }
+                }
+            };
+            h.send_one(
+                failed,
+                Request::WriteData {
+                    hdr,
+                    spans: vec![(span, content)],
+                    invalidate_primary: false,
+                    invalidate_mirror_spans: vec![],
+                },
+            )?
+            .into_done()?;
+        }
+
+        // --- lost mirror blocks (RAID1) --------------------------------------
+        for &b in &plan.mirror_blocks {
+            let len = unit.min(meta.size - b * unit);
+            let span = Span { logical_off: b * unit, len };
+            let content = h
+                .send_one(ly.home_server(b), Request::ReadData { hdr, spans: vec![span] })?
+                .into_payload()?;
+            h.send_one(failed, Request::WriteMirror { hdr, spans: vec![(span, content)] })?
+                .into_done()?;
+        }
+
+        // --- lost parity blocks ----------------------------------------------
+        for &g in &plan.parity_groups {
+            let mut blocks: Vec<Vec<u8>> = Vec::new();
+            let mut phantom = false;
+            let mut payloads: Vec<Payload> = Vec::new();
+            for b in ly.group_blocks(g) {
+                let span = Span { logical_off: b * unit, len: unit };
+                let p = h
+                    .send_one(ly.home_server(b), Request::ReadData { hdr, spans: vec![span] })?
+                    .into_payload()?;
+                if p.as_bytes().is_none() {
+                    phantom = true;
+                }
+                payloads.push(p);
+            }
+            let parity = if phantom {
+                Payload::Phantom(unit)
+            } else {
+                for p in &payloads {
+                    blocks.push(p.as_bytes().expect("checked").to_vec());
+                }
+                let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+                Payload::from_vec(parity_of(&refs))
+            };
+            h.send_one(
+                failed,
+                Request::WriteParity {
+                    hdr,
+                    parts: vec![ParityPart { group: g, intra: 0, payload: parity }],
+                    invalidate_mirror_spans: vec![],
+                },
+            )?
+            .into_done()?;
+        }
+
+        // --- lost overflow logs (Hybrid) --------------------------------------
+        if plan.overflow_primary {
+            // The next server's *mirror* table replicates our primary log.
+            let next = (failed + 1) % ly.servers;
+            let entries = match h.send_one(next, Request::DumpOverflowTable { hdr, mirror: true })? {
+                csar_core::proto::Response::Table { entries } => entries,
+                csar_core::proto::Response::Err(e) => return Err(e),
+                other => return Err(CsarError::Protocol(format!("expected Table, got {other:?}"))),
+            };
+            for e in entries {
+                let span = Span { logical_off: e.logical_off, len: e.len };
+                let runs = match h.send_one(
+                    next,
+                    Request::OverflowFetch { hdr, spans: vec![span], mirror: true },
+                )? {
+                    csar_core::proto::Response::Runs { runs } => runs,
+                    csar_core::proto::Response::Err(e) => return Err(e),
+                    other => {
+                        return Err(CsarError::Protocol(format!("expected Runs, got {other:?}")))
+                    }
+                };
+                for (off, payload) in runs {
+                    let span = Span { logical_off: off, len: payload.len() };
+                    h.send_one(
+                        failed,
+                        Request::OverflowWrite { hdr, spans: vec![(span, payload)], mirror: false },
+                    )?
+                    .into_done()?;
+                }
+            }
+        }
+        if plan.overflow_mirror {
+            // The previous server's *primary* table is what we mirrored.
+            let prev = (failed + ly.servers - 1) % ly.servers;
+            let entries = match h.send_one(prev, Request::DumpOverflowTable { hdr, mirror: false })? {
+                csar_core::proto::Response::Table { entries } => entries,
+                csar_core::proto::Response::Err(e) => return Err(e),
+                other => return Err(CsarError::Protocol(format!("expected Table, got {other:?}"))),
+            };
+            for e in entries {
+                let span = Span { logical_off: e.logical_off, len: e.len };
+                let runs = match h.send_one(
+                    prev,
+                    Request::OverflowFetch { hdr, spans: vec![span], mirror: false },
+                )? {
+                    csar_core::proto::Response::Runs { runs } => runs,
+                    csar_core::proto::Response::Err(e) => return Err(e),
+                    other => {
+                        return Err(CsarError::Protocol(format!("expected Runs, got {other:?}")))
+                    }
+                };
+                for (off, payload) in runs {
+                    let span = Span { logical_off: off, len: payload.len() };
+                    h.send_one(
+                        failed,
+                        Request::OverflowWrite { hdr, spans: vec![(span, payload)], mirror: true },
+                    )?
+                    .into_done()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stop all threads and join them.
+    pub fn shutdown(self) {
+        for tx in &self.inner.server_txs {
+            let _ = tx.send(ServerMsg::Shutdown);
+        }
+        let _ = self.inner.mgr_tx.send(MgrMsg::Shutdown);
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // Best-effort shutdown when the user forgets to call `shutdown`.
+        // Non-owning handles (clone_ref, used by daemons) hold no thread
+        // handles and must not stop the cluster.
+        let mut threads = self.threads.lock();
+        if threads.is_empty() {
+            return;
+        }
+        for tx in &self.inner.server_txs {
+            let _ = tx.send(ServerMsg::Shutdown);
+        }
+        let _ = self.inner.mgr_tx.send(MgrMsg::Shutdown);
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

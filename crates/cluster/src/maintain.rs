@@ -1,0 +1,232 @@
+//! Maintenance machinery: the §6.7 background overflow cleaner and an
+//! offline parity/mirror scrubber.
+//!
+//! The paper proposes recovering overflow storage with "a simple process
+//! that reads files in their entirety and writes them in a large chunk
+//! … this process could be run in the background and activated when the
+//! system is under a low load. With such a mechanism, the long-term
+//! storage of the Hybrid scheme would be the same as the RAID5 scheme."
+//! [`Cluster::start_cleaner`] is that process: a daemon thread that
+//! periodically rewrites each Hybrid file's overflowed ranges as
+//! full-group writes (migrating them back to parity form) and compacts
+//! the overflow logs.
+//!
+//! [`Cluster::scrub`] is the matching verifier: it walks every file and
+//! checks each parity group against the in-place data and every RAID1
+//! mirror block against its primary — the invariant all recovery paths
+//! rely on.
+
+use crate::deploy::Cluster;
+use csar_core::proto::Scheme;
+use csar_core::CsarError;
+use csar_parity::parity_of;
+use csar_store::StreamKind;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to a running background cleaner. Stops (and joins) on drop or
+/// via [`CleanerHandle::stop`].
+pub struct CleanerHandle {
+    stop: Arc<AtomicBool>,
+    passes: Arc<AtomicU64>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CleanerHandle {
+    /// Completed cleaning passes.
+    pub fn passes(&self) -> u64 {
+        self.passes.load(Ordering::SeqCst)
+    }
+
+    /// Stop the daemon and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CleanerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Result of one scrub pass.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// Files inspected.
+    pub files: usize,
+    /// Parity groups verified.
+    pub groups_checked: u64,
+    /// Mirror blocks verified (RAID1).
+    pub mirrors_checked: u64,
+    /// `(file name, group)` pairs whose parity does not match the data.
+    pub bad_groups: Vec<(String, u64)>,
+    /// `(file name, block)` pairs whose mirror does not match the data.
+    pub bad_mirrors: Vec<(String, u64)>,
+}
+
+impl ScrubReport {
+    /// True when no inconsistency was found.
+    pub fn is_clean(&self) -> bool {
+        self.bad_groups.is_empty() && self.bad_mirrors.is_empty()
+    }
+}
+
+impl Cluster {
+    /// Start the §6.7 background cleaner: every `interval`, rewrite each
+    /// Hybrid file's overflowed ranges as full parity groups and compact
+    /// the overflow logs. Returns a handle; the daemon stops when the
+    /// handle is dropped.
+    ///
+    /// The cleaner runs against quiescent files; like the paper's
+    /// proposal it is meant for low-load periods (it takes no locks
+    /// against concurrent writers beyond the ordinary write path).
+    pub fn start_cleaner(&self, interval: Duration) -> CleanerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let passes = Arc::new(AtomicU64::new(0));
+        let inner_stop = Arc::clone(&stop);
+        let inner_passes = Arc::clone(&passes);
+        let client_cluster = self.clone_ref();
+        let thread = std::thread::Builder::new()
+            .name("csar-cleaner".into())
+            .spawn(move || {
+                while !inner_stop.load(Ordering::SeqCst) {
+                    let _ = client_cluster.clean_pass();
+                    inner_passes.fetch_add(1, Ordering::SeqCst);
+                    // Sleep in small slices so stop() is responsive.
+                    let mut waited = Duration::ZERO;
+                    while waited < interval && !inner_stop.load(Ordering::SeqCst) {
+                        let slice = Duration::from_millis(10).min(interval - waited);
+                        std::thread::sleep(slice);
+                        waited += slice;
+                    }
+                }
+            })
+            .expect("spawn cleaner");
+        CleanerHandle { stop, passes, thread: Some(thread) }
+    }
+
+    /// One synchronous cleaning pass over every Hybrid file: read each
+    /// group that has live overflow data, rewrite it as a full-group
+    /// write (which computes fresh parity and invalidates the overflow
+    /// entries), then compact the logs.
+    pub fn clean_pass(&self) -> Result<u64, CsarError> {
+        let client = self.client();
+        let mut reclaimed = 0u64;
+        for meta in client.list_files()? {
+            if meta.scheme != Scheme::Hybrid || meta.size == 0 {
+                continue;
+            }
+            let file = client.open(&meta.name)?;
+            let before = file.storage_report()?.aggregate();
+            if before.overflow + before.overflow_mirror == 0 {
+                continue;
+            }
+            // Which groups have live overflow? Ask each home server.
+            let ly = meta.layout;
+            let group_bytes = ly.group_width_bytes();
+            let groups = meta.size.div_ceil(group_bytes);
+            for g in 0..groups {
+                let (go, glen) = ly.group_byte_range(g);
+                let live = self.group_has_overflow(&meta, g);
+                if !live {
+                    continue;
+                }
+                // Read latest contents, rewrite the whole group (clipped
+                // to EOF ranges still produce the partial tail — only
+                // rewrite groups that lie fully inside the file).
+                if go + glen > meta.size {
+                    continue;
+                }
+                let latest = file.read_payload(go, glen)?;
+                file.write_payload(go, latest)?;
+            }
+            file.compact_overflow()?;
+            let after = file.storage_report()?.aggregate();
+            reclaimed +=
+                (before.overflow + before.overflow_mirror).saturating_sub(after.overflow + after.overflow_mirror);
+        }
+        Ok(reclaimed)
+    }
+
+    fn group_has_overflow(&self, meta: &csar_core::manager::FileMeta, g: u64) -> bool {
+        let ly = meta.layout;
+        ly.group_blocks(g).any(|b| {
+            self.with_server(ly.home_server(b), |s| s.overflow_live_bytes(meta.fh) > 0)
+        })
+    }
+
+    /// Verify every parity group and mirror block of every file against
+    /// the in-place data. Requires real (non-phantom) file contents and a
+    /// quiescent cluster.
+    pub fn scrub(&self) -> Result<ScrubReport, CsarError> {
+        let client = self.client();
+        let mut report = ScrubReport::default();
+        for meta in client.list_files()? {
+            report.files += 1;
+            if meta.size == 0 {
+                continue;
+            }
+            let ly = meta.layout;
+            let unit = ly.stripe_unit;
+            match meta.scheme {
+                Scheme::Raid1 => {
+                    let last_block = ly.block_of(meta.size - 1);
+                    for b in 0..=last_block {
+                        let data = self.with_server(ly.home_server(b), |s| {
+                            s.store().read(meta.fh, StreamKind::Data, ly.data_local_off(b, 0), unit)
+                        });
+                        let mirror = self.with_server(ly.mirror_server(b), |s| {
+                            s.store().read(meta.fh, StreamKind::Mirror, ly.mirror_local_off(b, 0), unit)
+                        });
+                        report.mirrors_checked += 1;
+                        if data != mirror {
+                            report.bad_mirrors.push((meta.name.clone(), b));
+                        }
+                    }
+                }
+                s if s.uses_parity() => {
+                    let groups = meta.size.div_ceil(ly.group_width_bytes());
+                    for g in 0..groups {
+                        let mut blocks: Vec<Vec<u8>> = Vec::new();
+                        let mut ok = true;
+                        for b in ly.group_blocks(g) {
+                            let p = self.with_server(ly.home_server(b), |srv| {
+                                srv.store().read(meta.fh, StreamKind::Data, ly.data_local_off(b, 0), unit)
+                            });
+                            match p.as_bytes() {
+                                Some(bytes) => blocks.push(bytes.to_vec()),
+                                None => {
+                                    ok = false; // phantom data: cannot scrub
+                                    break;
+                                }
+                            }
+                        }
+                        if !ok {
+                            continue;
+                        }
+                        let parity = self.with_server(ly.parity_server(g), |srv| {
+                            srv.store().read(meta.fh, StreamKind::Parity, ly.parity_local_off(g, 0), unit)
+                        });
+                        let Some(pbytes) = parity.as_bytes() else { continue };
+                        report.groups_checked += 1;
+                        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+                        if parity_of(&refs) != pbytes.as_ref() {
+                            report.bad_groups.push((meta.name.clone(), g));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(report)
+    }
+}

@@ -1,0 +1,64 @@
+//! Server and manager threads.
+
+use crate::transport::{MgrMsg, ServerMsg};
+use crossbeam::channel::{Receiver, Sender};
+use csar_core::manager::Manager;
+use csar_core::proto::{Response, ServerId};
+use csar_core::server::{Effect, IoServer, ServerConfig};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared observer handle onto one server thread's engine state.
+///
+/// The engine itself lives on the thread; snapshots of the store and
+/// stats are taken under a mutex so tests and the storage-report path
+/// can inspect them without stopping the cluster.
+pub(crate) type SharedServer = Arc<Mutex<IoServer>>;
+
+/// Run one I/O server thread until `Shutdown`.
+///
+/// Requests whose handling is deferred by the parity lock produce their
+/// reply later (when the unlocking write arrives); the thread keeps the
+/// reply channel of every in-flight request keyed by `(client, req_id)`.
+pub(crate) fn run_server(
+    id: ServerId,
+    cfg: ServerConfig,
+    rx: Receiver<ServerMsg>,
+    shared: SharedServer,
+) {
+    debug_assert_eq!(shared.lock().id, id);
+    let _ = cfg;
+    let mut pending: HashMap<(u32, u64), Sender<(u64, Response)>> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ServerMsg::Req { from, req_id, req, reply_to } => {
+                pending.insert((from, req_id), reply_to);
+                let effects = {
+                    let mut engine = shared.lock();
+                    engine.handle(from, req_id, req)
+                };
+                for Effect::Reply { to, req_id, resp, .. } in effects {
+                    if let Some(tx) = pending.remove(&(to, req_id)) {
+                        // A dead client is fine; drop the reply.
+                        let _ = tx.send((req_id, resp));
+                    }
+                }
+            }
+            ServerMsg::Shutdown => break,
+        }
+    }
+}
+
+/// Run the manager thread until `Shutdown`, starting from `mgr`
+/// (a fresh manager, or one rebuilt from a snapshot).
+pub(crate) fn run_manager(rx: Receiver<MgrMsg>, mut mgr: Manager) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            MgrMsg::Req { req, reply_to } => {
+                let _ = reply_to.send(mgr.handle(req));
+            }
+            MgrMsg::Shutdown => break,
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Channel transport between clients and nodes.
+
+use crossbeam::channel::Sender;
+use csar_core::manager::{MgrRequest, MgrResponse};
+use csar_core::proto::{ClientId, Request, Response};
+
+/// A message to an I/O server thread.
+pub(crate) enum ServerMsg {
+    /// A client request; the reply goes back through `reply_to` tagged
+    /// with `req_id`. The server thread retains `reply_to` for requests
+    /// parked on a parity lock.
+    Req {
+        from: ClientId,
+        req_id: u64,
+        req: Request,
+        reply_to: Sender<(u64, Response)>,
+    },
+    /// Stop the thread.
+    Shutdown,
+}
+
+/// A message to the manager thread.
+pub(crate) enum MgrMsg {
+    Req { req: MgrRequest, reply_to: Sender<MgrResponse> },
+    Shutdown,
+}

@@ -1,0 +1,417 @@
+//! Integration tests of the live threaded cluster: concurrency, failure
+//! injection, degraded reads, rebuild, and storage accounting.
+
+use csar_cluster::Cluster;
+use csar_core::proto::Scheme;
+use csar_core::recovery::parity_consistent;
+use csar_core::server::ServerConfig;
+use csar_store::StreamKind;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn cfg() -> ServerConfig {
+    ServerConfig { fs_block: 512, ..ServerConfig::default() }
+}
+
+fn pattern(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+/// Read back every parity group of a file and check it against the
+/// in-place data, through the cluster inspection API.
+fn assert_parity_consistent(cluster: &Cluster, file: &csar_cluster::File) {
+    let meta = file.meta();
+    let ly = meta.layout;
+    let unit = ly.stripe_unit;
+    if !meta.scheme.uses_parity() || meta.size == 0 {
+        return;
+    }
+    let groups = meta.size.div_ceil(ly.group_width_bytes());
+    for g in 0..groups {
+        let mut blocks: Vec<Vec<u8>> = Vec::new();
+        for b in ly.group_blocks(g) {
+            let local = ly.data_local_off(b, 0);
+            let bytes = cluster.with_server(ly.home_server(b), |s| {
+                s.store().read(meta.fh, StreamKind::Data, local, unit)
+            });
+            blocks.push(bytes.as_bytes().expect("real data").to_vec());
+        }
+        let parity = cluster.with_server(ly.parity_server(g), |s| {
+            s.store().read(meta.fh, StreamKind::Parity, ly.parity_local_off(g, 0), unit)
+        });
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        assert!(
+            parity_consistent(&refs, parity.as_bytes().expect("real data")),
+            "group {g} parity inconsistent"
+        );
+    }
+}
+
+#[test]
+fn create_open_write_read_all_schemes() {
+    let cluster = Cluster::spawn(5, cfg());
+    let client = cluster.client();
+    for (i, scheme) in Scheme::MAIN.iter().enumerate() {
+        let name = format!("file-{i}");
+        let f = client.create(&name, *scheme, 1024).unwrap();
+        let data = pattern(10_000, i as u64);
+        f.write_at(123, &data).unwrap();
+        assert_eq!(f.size(), 123 + 10_000);
+        // Reopen through a second client.
+        let f2 = cluster.client().open(&name).unwrap();
+        assert_eq!(f2.read_at(123, 10_000).unwrap(), data);
+        assert_parity_consistent(&cluster, &f2);
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn create_duplicate_fails_open_missing_fails() {
+    let cluster = Cluster::spawn(2, cfg());
+    let client = cluster.client();
+    client.create("dup", Scheme::Raid0, 64).unwrap();
+    assert!(client.create("dup", Scheme::Raid0, 64).is_err());
+    assert!(client.open("missing").is_err());
+    assert_eq!(client.list_files().unwrap().len(), 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_disjoint_writers_same_stripe_keep_parity_consistent() {
+    // The §5.1 scenario: several clients write different blocks of the
+    // same parity group concurrently. The parity lock must serialize the
+    // read-modify-writes so the final parity matches the data.
+    let n = 6u32;
+    let unit = 2048u64;
+    let cluster = Cluster::spawn(n, cfg());
+    let client = cluster.client();
+    let f = client.create("shared", Scheme::Raid5, unit).unwrap();
+    // Seed one full group so old data exists.
+    f.write_at(0, &pattern((n as usize - 1) * unit as usize, 42)).unwrap();
+
+    // 5 writer threads, one block each, many rounds.
+    let rounds = 20;
+    std::thread::scope(|scope| {
+        for w in 0..(n - 1) as u64 {
+            let fw = cluster.client().open("shared").unwrap();
+            scope.spawn(move || {
+                for r in 0..rounds {
+                    let data = pattern(unit as usize, w * 1000 + r);
+                    fw.write_at(w * unit, &data).unwrap();
+                }
+            });
+        }
+    });
+    assert_parity_consistent(&cluster, &f);
+    // Each block holds its writer's final round.
+    for w in 0..(n - 1) as u64 {
+        let want = pattern(unit as usize, w * 1000 + rounds - 1);
+        assert_eq!(f.read_at(w * unit, unit).unwrap(), want, "writer {w}");
+    }
+    // The lock actually saw contention (not guaranteed per run, but with
+    // 5 threads × 20 rounds on one group it is effectively certain).
+    let meta = f.meta();
+    let parity_srv = meta.layout.parity_server(0);
+    let (_contended, acquisitions) = cluster.with_server(parity_srv, |s| s.lock_contention());
+    assert_eq!(acquisitions, 5 * rounds, "every RMW acquired the lock");
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_writers_two_partial_groups_no_deadlock() {
+    // Writes straddling two groups take two locks in ascending group
+    // order (§5.1's deadlock-avoidance rule). Writer w straddles the
+    // boundary between groups w and w+1, so adjacent writers contend on
+    // the shared group while each holds another lock — a chain that
+    // would deadlock if lock acquisition were unordered. Data ranges are
+    // disjoint (the paper's consistency guarantee covers exactly this).
+    let n = 4u32;
+    let unit = 512u64;
+    let group = (n as u64 - 1) * unit;
+    let writers = 4u64;
+    let cluster = Cluster::spawn(n, cfg());
+    let client = cluster.client();
+    let f = client.create("straddle", Scheme::Raid5, unit).unwrap();
+    let base = pattern(((writers + 1) * group) as usize, 7);
+    f.write_at(0, &base).unwrap();
+
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let fw = cluster.client().open("straddle").unwrap();
+            scope.spawn(move || {
+                for r in 0..10u64 {
+                    // Straddle the boundary between groups w and w+1.
+                    let data = pattern(unit as usize, w * 100 + r);
+                    fw.write_at((w + 1) * group - unit / 2, &data).unwrap();
+                }
+            });
+        }
+    });
+    assert_parity_consistent(&cluster, &f);
+    // Every writer's final round is in place.
+    let got = f.read_at(0, base.len() as u64).unwrap();
+    let mut want = base.clone();
+    for w in 0..writers {
+        let off = ((w + 1) * group - unit / 2) as usize;
+        want[off..off + unit as usize].copy_from_slice(&pattern(unit as usize, w * 100 + 9));
+    }
+    assert_eq!(got, want);
+    cluster.shutdown();
+}
+
+#[test]
+fn failure_degraded_read_and_rebuild_roundtrip() {
+    for scheme in [Scheme::Raid1, Scheme::Raid5, Scheme::Hybrid] {
+        let cluster = Cluster::spawn(4, cfg());
+        let client = cluster.client();
+        let f = client.create("data", scheme, 1024).unwrap();
+        let body = pattern(40_000, 77);
+        f.write_at(0, &body).unwrap();
+        // Hybrid: add an overflowed partial write so rebuild must restore
+        // overflow logs too.
+        let patch = pattern(300, 78);
+        f.write_at(100, &patch).unwrap();
+        let mut want = body.clone();
+        want[100..400].copy_from_slice(&patch);
+
+        cluster.fail_server(2);
+        assert_eq!(f.read_at(0, want.len() as u64).unwrap(), want, "{scheme:?} degraded");
+
+        cluster.rebuild_server(2).unwrap();
+        assert_eq!(cluster.failed_server(), None);
+        assert_eq!(f.read_at(0, want.len() as u64).unwrap(), want, "{scheme:?} rebuilt");
+
+        // After rebuild a *different* failure is still survivable.
+        cluster.fail_server(0);
+        assert_eq!(f.read_at(0, want.len() as u64).unwrap(), want, "{scheme:?} second failure");
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn raid0_rebuild_reports_data_loss() {
+    let cluster = Cluster::spawn(3, cfg());
+    let client = cluster.client();
+    let f = client.create("scratch", Scheme::Raid0, 256).unwrap();
+    f.write_at(0, &pattern(5000, 5)).unwrap();
+    cluster.fail_server(1);
+    assert!(cluster.rebuild_server(1).is_err());
+    cluster.shutdown();
+}
+
+#[test]
+fn degraded_write_semantics_per_scheme() {
+    // RAID0 has nowhere to put bytes homed on a dead server.
+    let cluster = Cluster::spawn(3, cfg());
+    let client = cluster.client();
+    let f0 = client.create("r0", Scheme::Raid0, 256).unwrap();
+    cluster.fail_server(0);
+    assert!(f0.write_at(0, &[1, 2, 3]).is_err(), "RAID0 degraded write must fail");
+    cluster.restore_server(0);
+
+    // Redundant schemes keep accepting writes with one server down, and
+    // the data is correct after rebuild.
+    for (name, scheme) in [("r1", Scheme::Raid1), ("r5", Scheme::Raid5), ("hy", Scheme::Hybrid)] {
+        let f = client.create(name, scheme, 256).unwrap();
+        let base = pattern(3 * 256 * 4, 50);
+        f.write_at(0, &base).unwrap();
+        cluster.fail_server(0);
+        // A group-aligned write and (for non-RAID5) an unaligned one.
+        let big = pattern(3 * 256 * 2, 51);
+        f.write_at(0, &big).unwrap();
+        let mut want = base.clone();
+        want[..big.len()].copy_from_slice(&big);
+        if scheme != Scheme::Raid5 {
+            let small = pattern(100, 52);
+            f.write_at(40, &small).unwrap();
+            want[40..140].copy_from_slice(&small);
+        } else {
+            // RAID5 partial on the dead server's data is refused —
+            // offset 0..256 is block 0, homed on server 0.
+            assert!(f.write_at(40, &[9; 100]).is_err(), "RAID5 partial on dead home");
+            // A partial whose group *parity* lives on the dead server is
+            // accepted (written unprotected until rebuild): with n=3 and
+            // unit 256, group 2 covers bytes [1024, 1536) on servers 1
+            // and 2, with parity on server ((2+1)·2) mod 3 = 0.
+            let small = pattern(100, 53);
+            f.write_at(1100, &small).unwrap();
+            want[1100..1200].copy_from_slice(&small);
+        }
+        // Degraded reads see all of it.
+        assert_eq!(f.read_at(0, want.len() as u64).unwrap(), want, "{scheme:?} degraded");
+        // Rebuild, then verify on a healthy cluster and after another
+        // failure.
+        cluster.rebuild_server(0).unwrap();
+        assert_eq!(f.read_at(0, want.len() as u64).unwrap(), want, "{scheme:?} rebuilt");
+        cluster.fail_server(1);
+        assert_eq!(f.read_at(0, want.len() as u64).unwrap(), want, "{scheme:?} second failure");
+        cluster.restore_server(1);
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn storage_expansion_factors_match_schemes() {
+    // Full-group-aligned writes: RAID0 = 1.0×, RAID1 = 2.0×,
+    // RAID5 = Hybrid = 1 + 1/(n-1).
+    let n = 5u32;
+    let unit = 1024u64;
+    let group = (n as u64 - 1) * unit;
+    let cluster = Cluster::spawn(n, cfg());
+    let client = cluster.client();
+    let body = pattern(8 * group as usize, 3);
+    for (name, scheme, want) in [
+        ("r0", Scheme::Raid0, 1.0),
+        ("r1", Scheme::Raid1, 2.0),
+        ("r5", Scheme::Raid5, 1.25),
+        ("hy", Scheme::Hybrid, 1.25),
+    ] {
+        let f = client.create(name, scheme, unit).unwrap();
+        f.write_at(0, &body).unwrap();
+        let rep = f.storage_report().unwrap();
+        assert!(
+            (rep.expansion() - want).abs() < 1e-9,
+            "{scheme:?}: expansion {} want {want}",
+            rep.expansion()
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn hybrid_small_writes_store_like_raid1_and_compact_recovers() {
+    let n = 5u32;
+    let unit = 1024u64;
+    let cluster = Cluster::spawn(n, cfg());
+    let client = cluster.client();
+    let f = client.create("small", Scheme::Hybrid, unit).unwrap();
+    // 100 small writes at 10 offsets, all inside stripe block 0: the
+    // block gets one whole-unit overflow slot per copy, reused by every
+    // write.
+    for i in 0..100u64 {
+        f.write_at((i % 10) * 100, &pattern(100, i)).unwrap();
+    }
+    let before = f.storage_report().unwrap().aggregate();
+    assert_eq!(before.overflow + before.overflow_mirror, 2 * unit);
+    // The §6.7 compaction packs down to the live bytes.
+    f.compact_overflow().unwrap();
+    let after = f.storage_report().unwrap().aggregate();
+    assert_eq!(after.overflow + after.overflow_mirror, 2 * 10 * 100);
+    // Contents unchanged.
+    for i in 0..10u64 {
+        let want = pattern(100, 90 + i);
+        assert_eq!(f.read_at(i * 100, 100).unwrap(), want);
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn phantom_payload_accounting_matches_real() {
+    // A size-only workload produces the same Table 2 numbers as a real
+    // one — the property the simulator relies on.
+    let n = 4u32;
+    let unit = 512u64;
+    let writes: &[(u64, u64)] = &[(0, 4000), (100, 900), (5000, 1536), (7, 64)];
+    let mut reports = Vec::new();
+    for phantom in [false, true] {
+        let cluster = Cluster::spawn(n, cfg());
+        let client = cluster.client();
+        let f = client.create("acct", Scheme::Hybrid, unit).unwrap();
+        for &(off, len) in writes {
+            if phantom {
+                f.write_payload(off, csar_store::Payload::Phantom(len)).unwrap();
+            } else {
+                f.write_at(off, &pattern(len as usize, off)).unwrap();
+            }
+        }
+        reports.push(f.storage_report().unwrap().aggregate());
+        cluster.shutdown();
+    }
+    assert_eq!(reports[0], reports[1]);
+}
+
+#[test]
+fn rebuild_restores_multiple_files_with_mixed_schemes() {
+    let cluster = Cluster::spawn(4, cfg());
+    let client = cluster.client();
+    // Three files under different schemes, plus an empty one.
+    let r1 = client.create("m-r1", Scheme::Raid1, 512).unwrap();
+    let r5 = client.create("m-r5", Scheme::Raid5, 512).unwrap();
+    let hy = client.create("m-hy", Scheme::Hybrid, 512).unwrap();
+    client.create("m-empty", Scheme::Hybrid, 512).unwrap();
+    let a = pattern(20_000, 1);
+    let b = pattern(15_000, 2);
+    let c = pattern(12_000, 3);
+    r1.write_at(0, &a).unwrap();
+    r5.write_at(0, &b).unwrap();
+    hy.write_at(0, &c).unwrap();
+    hy.write_at(77, &[0xCC; 333]).unwrap(); // overflowed partial
+    let mut want_c = c.clone();
+    want_c[77..410].copy_from_slice(&[0xCC; 333]);
+
+    cluster.fail_server(3);
+    cluster.rebuild_server(3).unwrap();
+    assert_eq!(r1.read_at(0, a.len() as u64).unwrap(), a);
+    assert_eq!(r5.read_at(0, b.len() as u64).unwrap(), b);
+    assert_eq!(hy.read_at(0, want_c.len() as u64).unwrap(), want_c);
+    // Every file is fully redundant again.
+    for kill in 0..3u32 {
+        cluster.fail_server(kill);
+        assert_eq!(r1.read_at(0, a.len() as u64).unwrap(), a, "r1, kill {kill}");
+        assert_eq!(hy.read_at(0, want_c.len() as u64).unwrap(), want_c, "hy, kill {kill}");
+        cluster.restore_server(kill);
+    }
+    assert!(cluster.scrub().unwrap().is_clean());
+    cluster.shutdown();
+}
+
+#[test]
+fn reads_past_eof_zero_fill_and_empty_reads_are_noops() {
+    let cluster = Cluster::spawn(3, cfg());
+    let client = cluster.client();
+    let f = client.create("eof", Scheme::Hybrid, 512).unwrap();
+    f.write_at(0, &[7u8; 100]).unwrap();
+    // Zero-length read.
+    assert_eq!(f.read_at(50, 0).unwrap(), Vec::<u8>::new());
+    // Read crossing EOF zero-fills (UNIX semantics differ, but CSAR's
+    // read path synthesises zeros for unwritten ranges).
+    let got = f.read_at(90, 20).unwrap();
+    assert_eq!(&got[..10], &[7u8; 10]);
+    assert_eq!(&got[10..], &[0u8; 10]);
+    cluster.shutdown();
+}
+
+#[test]
+fn files_are_isolated_from_each_other() {
+    let cluster = Cluster::spawn(3, cfg());
+    let client = cluster.client();
+    let a = client.create("iso-a", Scheme::Hybrid, 512).unwrap();
+    let b = client.create("iso-b", Scheme::Hybrid, 512).unwrap();
+    a.write_at(0, &pattern(5000, 10)).unwrap();
+    b.write_at(0, &pattern(5000, 20)).unwrap();
+    a.write_at(100, &[1; 50]).unwrap();
+    b.write_at(100, &[2; 50]).unwrap();
+    let ga = a.read_at(100, 50).unwrap();
+    let gb = b.read_at(100, 50).unwrap();
+    assert_eq!(ga, vec![1; 50]);
+    assert_eq!(gb, vec![2; 50]);
+    cluster.shutdown();
+}
+
+#[test]
+fn remove_then_recreate_gets_fresh_handle() {
+    let cluster = Cluster::spawn(3, cfg());
+    let client = cluster.client();
+    let f = client.create("tmp", Scheme::Raid0, 512).unwrap();
+    let old_fh = f.meta().fh;
+    f.write_at(0, &[1, 2, 3]).unwrap();
+    client.remove("tmp").unwrap();
+    assert!(client.open("tmp").is_err());
+    let f2 = client.create("tmp", Scheme::Raid1, 512).unwrap();
+    assert_ne!(f2.meta().fh, old_fh, "handles are never reused");
+    assert_eq!(f2.size(), 0);
+    cluster.shutdown();
+}

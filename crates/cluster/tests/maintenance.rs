@@ -1,0 +1,114 @@
+//! Tests of the §6.7 cleaner daemon and the parity/mirror scrubber.
+
+use csar_cluster::Cluster;
+use csar_core::proto::Scheme;
+use std::time::Duration;
+
+#[test]
+fn clean_pass_migrates_overflow_back_to_raid5_storage() {
+    let cluster = Cluster::spawn(4, Default::default());
+    let client = cluster.client();
+    let unit = 1024u64;
+    let group = 3 * unit;
+    let f = client.create("dirty", Scheme::Hybrid, unit).unwrap();
+    // Full coverage, then scattered partial writes that overflow.
+    let body: Vec<u8> = (0..8 * group).map(|i| (i % 249) as u8).collect();
+    f.write_at(0, &body).unwrap();
+    let mut want = body.clone();
+    for i in 0..10u64 {
+        let off = (i * 2048 + 37) as usize;
+        let patch = vec![i as u8 + 100; 200];
+        f.write_at(off as u64, &patch).unwrap();
+        want[off..off + 200].copy_from_slice(&patch);
+    }
+    let before = f.storage_report().unwrap().aggregate();
+    assert!(before.overflow > 0, "partial writes must overflow");
+
+    let reclaimed = cluster.clean_pass().unwrap();
+    assert!(reclaimed > 0, "the cleaner must reclaim overflow space");
+    let after = f.storage_report().unwrap().aggregate();
+    assert_eq!(after.overflow + after.overflow_mirror, 0, "long-term storage == RAID5");
+    // Contents intact, parity consistent.
+    assert_eq!(f.read_at(0, want.len() as u64).unwrap(), want);
+    let report = cluster.scrub().unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    assert!(report.groups_checked > 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn cleaner_daemon_runs_passes_and_stops() {
+    let cluster = Cluster::spawn(3, Default::default());
+    let client = cluster.client();
+    let f = client.create("bg", Scheme::Hybrid, 512).unwrap();
+    f.write_at(0, &vec![1u8; 4096]).unwrap();
+    f.write_at(100, &[2u8; 50]).unwrap(); // overflow
+    let handle = cluster.start_cleaner(Duration::from_millis(5));
+    // Wait for at least two passes.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while handle.passes() < 2 {
+        assert!(std::time::Instant::now() < deadline, "cleaner made no progress");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.stop();
+    let agg = f.storage_report().unwrap().aggregate();
+    assert_eq!(agg.overflow + agg.overflow_mirror, 0);
+    // The cluster is still alive after the daemon handle is gone.
+    assert_eq!(f.read_at(100, 50).unwrap(), vec![2u8; 50]);
+    cluster.shutdown();
+}
+
+#[test]
+fn scrub_detects_corruption() {
+    let cluster = Cluster::spawn(4, Default::default());
+    let client = cluster.client();
+    // A RAID5 file and a RAID1 file, both healthy.
+    let f5 = client.create("r5", Scheme::Raid5, 512).unwrap();
+    f5.write_at(0, &vec![7u8; 6000]).unwrap();
+    let f1 = client.create("r1", Scheme::Raid1, 512).unwrap();
+    f1.write_at(0, &vec![8u8; 6000]).unwrap();
+    let clean = cluster.scrub().unwrap();
+    assert!(clean.is_clean());
+    assert!(clean.groups_checked > 0 && clean.mirrors_checked > 0);
+
+    // Corrupt one parity block and one mirror block behind the
+    // cluster's back (bit rot).
+    let meta5 = f5.meta();
+    cluster.with_server(meta5.layout.parity_server(0), |_s| {});
+    // `with_server` gives &IoServer; corruption needs a write path — use
+    // the raw protocol via a client handle targeting the parity stream.
+    // Easiest honest corruption: write different data through WriteParity.
+    use csar_core::proto::{ParityPart, ReqHeader, Request};
+    use csar_store::Payload;
+    let hdr5 = ReqHeader { fh: meta5.fh, layout: meta5.layout, scheme: meta5.scheme };
+    let rogue = cluster.client();
+    rogue
+        .send_raw(
+            meta5.layout.parity_server(0),
+            Request::WriteParity {
+                hdr: hdr5,
+                parts: vec![ParityPart { group: 0, intra: 0, payload: Payload::from_vec(vec![0xFF; 512]) }],
+                invalidate_mirror_spans: vec![],
+            },
+        )
+        .unwrap();
+    let meta1 = f1.meta();
+    let hdr1 = ReqHeader { fh: meta1.fh, layout: meta1.layout, scheme: meta1.scheme };
+    rogue
+        .send_raw(
+            meta1.layout.mirror_server(3),
+            Request::WriteMirror {
+                hdr: hdr1,
+                spans: vec![(
+                    csar_core::Span { logical_off: 3 * 512, len: 512 },
+                    Payload::from_vec(vec![0xEE; 512]),
+                )],
+            },
+        )
+        .unwrap();
+
+    let dirty = cluster.scrub().unwrap();
+    assert_eq!(dirty.bad_groups, vec![("r5".to_string(), 0)]);
+    assert_eq!(dirty.bad_mirrors, vec![("r1".to_string(), 3)]);
+    cluster.shutdown();
+}

@@ -1,0 +1,100 @@
+//! Save/load round-trips of whole-cluster state: contents, overflow
+//! machinery, redundancy and metadata all survive a restart.
+
+use csar_cluster::Cluster;
+use csar_core::proto::Scheme;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("csar-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn save_load_roundtrip_preserves_everything() {
+    let dir = tmpdir("roundtrip");
+    let body: Vec<u8> = (0..60_000u64).map(|i| (i % 239) as u8).collect();
+    let mut want = body.clone();
+
+    {
+        let cluster = Cluster::spawn(4, Default::default());
+        let client = cluster.client();
+        let f = client.create("persist", Scheme::Hybrid, 4096).unwrap();
+        f.write_at(0, &body).unwrap();
+        // Overflowed partial (lives in the overflow log + mirror).
+        f.write_at(500, &[0xAB; 900]).unwrap();
+        want[500..1400].copy_from_slice(&[0xAB; 900]);
+        // A second file under a different scheme.
+        let g = client.create("other", Scheme::Raid5, 4096).unwrap();
+        g.write_at(0, &[7u8; 10_000]).unwrap();
+
+        cluster.save_to(&dir).unwrap();
+        cluster.shutdown();
+    }
+
+    let cluster = Cluster::load_from(&dir, Default::default()).unwrap();
+    let client = cluster.client();
+    assert_eq!(cluster.servers(), 4);
+
+    // Metadata survived.
+    let metas = client.list_files().unwrap();
+    assert_eq!(metas.len(), 2);
+    let f = client.open("persist").unwrap();
+    assert_eq!(f.meta().scheme, Scheme::Hybrid);
+    assert_eq!(f.size(), 60_000);
+
+    // Contents survived, including the overflow overlay.
+    assert_eq!(f.read_at(0, want.len() as u64).unwrap(), want);
+    let g = client.open("other").unwrap();
+    assert_eq!(g.read_at(0, 10_000).unwrap(), vec![7u8; 10_000]);
+
+    // Redundancy survived: every single failure is still tolerable, and
+    // the scrubber finds nothing wrong.
+    assert!(cluster.scrub().unwrap().is_clean());
+    for kill in 0..4u32 {
+        cluster.fail_server(kill);
+        assert_eq!(f.read_at(0, want.len() as u64).unwrap(), want, "kill {kill}");
+        cluster.restore_server(kill);
+    }
+
+    // New files get fresh handles past the restored ones.
+    let old_max = metas.iter().map(|m| m.fh).max().unwrap();
+    let h = client.create("fresh", Scheme::Raid0, 4096).unwrap();
+    assert!(h.meta().fh > old_max);
+
+    // Writes continue to work, including the overflow slot reuse path.
+    f.write_at(500, &[0xCD; 900]).unwrap();
+    let mut want2 = want.clone();
+    want2[500..1400].copy_from_slice(&[0xCD; 900]);
+    assert_eq!(f.read_at(0, want2.len() as u64).unwrap(), want2);
+
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn load_from_missing_dir_errors() {
+    let dir = tmpdir("missing");
+    assert!(Cluster::load_from(&dir, Default::default()).is_err());
+}
+
+#[test]
+fn save_load_with_phantom_payloads_keeps_accounting() {
+    let dir = tmpdir("phantom");
+    let before;
+    {
+        let cluster = Cluster::spawn(3, Default::default());
+        let client = cluster.client();
+        let f = client.create("ph", Scheme::Raid1, 1024).unwrap();
+        f.write_payload(0, csar_store::Payload::Phantom(50_000)).unwrap();
+        before = f.storage_report().unwrap().aggregate();
+        cluster.save_to(&dir).unwrap();
+        cluster.shutdown();
+    }
+    let cluster = Cluster::load_from(&dir, Default::default()).unwrap();
+    let f = cluster.client().open("ph").unwrap();
+    let after = f.storage_report().unwrap().aggregate();
+    assert_eq!(before, after);
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,148 @@
+//! Client-side operation drivers.
+//!
+//! A CSAR client performs an operation (write / read / degraded read) as
+//! a short program of *batches*: it sends a set of requests to I/O
+//! servers, waits for all replies, possibly computes (XOR for parity),
+//! and continues. The paper's §5.1 deadlock-avoidance rule — a write
+//! touching two partial stripes issues the parity-lock read for the
+//! lower-numbered group first and waits for it before issuing the second
+//! — is exactly such a batch boundary.
+//!
+//! Drivers are pure state machines implementing [`OpDriver`]; the
+//! executor (threaded in `csar-cluster`, event-driven in `csar-sim`)
+//! alternates between performing the returned [`Action`] and feeding the
+//! result back. Parity XOR is performed inside the driver when replies
+//! arrive; the `Compute` action reports the number of bytes processed so
+//! the simulator can charge XOR time (the live executor treats it as a
+//! no-op).
+
+pub mod read;
+pub mod write;
+
+use crate::error::CsarError;
+use crate::proto::{Request, Response, ServerId};
+use csar_store::Payload;
+
+pub use read::ReadDriver;
+pub use write::WriteDriver;
+
+/// What the executor must do next.
+#[derive(Debug)]
+pub enum Action {
+    /// Send all requests (concurrently), gather all replies, and call
+    /// [`OpDriver::on_replies`] with them in the same order.
+    Send(Vec<(ServerId, Request)>),
+    /// Charge `bytes` of XOR work, then call [`OpDriver::on_compute_done`].
+    /// The actual computation has already happened inside the driver.
+    Compute { bytes: u64 },
+    /// The operation finished.
+    Done(Result<OpOutput, CsarError>),
+}
+
+/// Result of a completed operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutput {
+    /// A write completed; `bytes` is the logical byte count.
+    Written { bytes: u64 },
+    /// A read completed with the assembled payload.
+    Read { payload: Payload },
+}
+
+impl OpOutput {
+    /// Unwrap a read payload.
+    pub fn into_payload(self) -> Payload {
+        match self {
+            OpOutput::Read { payload } => payload,
+            OpOutput::Written { .. } => panic!("expected read output"),
+        }
+    }
+}
+
+/// A client-side operation state machine.
+pub trait OpDriver {
+    /// Start the operation.
+    fn begin(&mut self) -> Action;
+    /// All replies of the last `Send` batch, in request order.
+    fn on_replies(&mut self, replies: Vec<Response>) -> Action;
+    /// The last `Compute` action finished.
+    fn on_compute_done(&mut self) -> Action;
+}
+
+/// Check a batch of replies for errors; first error wins.
+pub(crate) fn first_error(replies: &[Response]) -> Option<CsarError> {
+    replies.iter().find_map(|r| match r {
+        Response::Err(e) => Some(e.clone()),
+        _ => None,
+    })
+}
+
+/// Run a driver to completion against a synchronous request function —
+/// the reference executor. `send` must return replies in request order.
+///
+/// Useful for tests and for any caller with blocking transport access;
+/// the live cluster's client is built on it.
+pub fn run_driver<D, F>(driver: &mut D, mut send: F) -> Result<OpOutput, CsarError>
+where
+    D: OpDriver + ?Sized,
+    F: FnMut(Vec<(ServerId, Request)>) -> Result<Vec<Response>, CsarError>,
+{
+    let mut action = driver.begin();
+    loop {
+        action = match action {
+            Action::Send(batch) => {
+                let replies = send(batch)?;
+                driver.on_replies(replies)
+            }
+            Action::Compute { .. } => driver.on_compute_done(),
+            Action::Done(result) => return result,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial driver: one empty batch then done.
+    struct TwoStep {
+        step: u8,
+    }
+    impl OpDriver for TwoStep {
+        fn begin(&mut self) -> Action {
+            self.step = 1;
+            Action::Send(vec![])
+        }
+        fn on_replies(&mut self, replies: Vec<Response>) -> Action {
+            assert!(replies.is_empty());
+            self.step = 2;
+            Action::Compute { bytes: 10 }
+        }
+        fn on_compute_done(&mut self) -> Action {
+            self.step = 3;
+            Action::Done(Ok(OpOutput::Written { bytes: 42 }))
+        }
+    }
+
+    #[test]
+    fn run_driver_walks_all_phases() {
+        let mut d = TwoStep { step: 0 };
+        let out = run_driver(&mut d, |batch| {
+            assert!(batch.is_empty());
+            Ok(vec![])
+        })
+        .unwrap();
+        assert_eq!(out, OpOutput::Written { bytes: 42 });
+        assert_eq!(d.step, 3);
+    }
+
+    #[test]
+    fn first_error_finds_errors() {
+        let replies = vec![
+            Response::Done { bytes: 1 },
+            Response::Err(CsarError::ServerDown(2)),
+            Response::Err(CsarError::ServerDown(3)),
+        ];
+        assert_eq!(first_error(&replies), Some(CsarError::ServerDown(2)));
+        assert_eq!(first_error(&[Response::Done { bytes: 1 }]), None);
+    }
+}

@@ -1,0 +1,290 @@
+//! Read drivers, including degraded-mode reads after a server failure.
+//!
+//! Normal reads never touch redundancy (the paper: "the expected
+//! performance of reads is the same as in PVFS because redundancy is not
+//! read during normal operation") — RAID0/1/5 read the data files,
+//! Hybrid reads the data files with the servers overlaying live overflow
+//! extents (`ReadLatest`).
+//!
+//! Degraded reads (one failed server, the fault model of the paper's
+//! long-term goal) reconstruct each lost span:
+//!
+//! * RAID1 — fetch the mirror copy from the next server;
+//! * RAID5 — XOR the group's surviving in-place blocks with its parity;
+//! * Hybrid — RAID5-style reconstruction of the in-place data, then
+//!   overlay the overflow *mirror* extents held by the next server
+//!   (partial-group writes never updated the in-place data, so parity
+//!   reconstruction yields the pre-overflow contents, and the overlay
+//!   restores the latest).
+//! * RAID0 — data loss.
+
+use super::{first_error, Action, OpDriver, OpOutput};
+use crate::error::CsarError;
+use crate::layout::Span;
+use crate::manager::FileMeta;
+use crate::proto::{ReqHeader, Request, Response, Scheme, ServerId};
+use csar_store::Payload;
+use std::collections::BTreeMap;
+
+/// Client-side read state machine.
+#[derive(Debug)]
+pub struct ReadDriver {
+    hdr: ReqHeader,
+    off: u64,
+    len: u64,
+    failed: Option<ServerId>,
+    state: State,
+    /// Normal requests: `(request index, spans served by it)`.
+    normal: Vec<(usize, Vec<Span>)>,
+    /// Reconstruction jobs for spans on the failed server.
+    recon: Vec<ReconJob>,
+    batch: Vec<(ServerId, Request)>,
+    /// Assembled `(logical_off, payload)` segments.
+    segments: Vec<(u64, Payload)>,
+}
+
+#[derive(Debug)]
+struct ReconJob {
+    span: Span,
+    /// Request indices of the surviving blocks' intra-range reads.
+    others: Vec<usize>,
+    /// Request index of the parity read (None for RAID1 mirror path,
+    /// where `others[0]` is the mirror read itself).
+    parity: Option<usize>,
+    /// Request index of the overflow-mirror fetch (Hybrid only).
+    overlay: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Init,
+    Await,
+    Computing,
+    Finished,
+}
+
+impl ReadDriver {
+    /// Plan a read of `[off, off+len)`. `failed` marks a fail-stopped
+    /// server to read around.
+    ///
+    /// # Panics
+    /// Panics on zero-length reads.
+    pub fn new(meta: &FileMeta, off: u64, len: u64, failed: Option<ServerId>) -> Self {
+        assert!(len > 0, "zero-length reads are a caller-side no-op");
+        Self {
+            hdr: ReqHeader { fh: meta.fh, layout: meta.layout, scheme: meta.scheme },
+            off,
+            len,
+            failed,
+            state: State::Init,
+            normal: Vec::new(),
+            recon: Vec::new(),
+            batch: Vec::new(),
+            segments: Vec::new(),
+        }
+    }
+
+    fn build(&mut self) -> Result<(), CsarError> {
+        let ly = self.hdr.layout;
+        let scheme = self.hdr.scheme;
+        let normal_req = |spans: Vec<Span>| -> Request {
+            if scheme == Scheme::Hybrid {
+                Request::ReadLatest { hdr: self.hdr, spans }
+            } else {
+                Request::ReadData { hdr: self.hdr, spans }
+            }
+        };
+
+        let mut normal_per_server: BTreeMap<ServerId, Vec<Span>> = BTreeMap::new();
+        let mut mirror_per_server: BTreeMap<ServerId, Vec<Span>> = BTreeMap::new();
+        let mut lost: Vec<Span> = Vec::new();
+        for s in ly.spans(self.off, self.len) {
+            let home = ly.home_server(ly.block_of(s.logical_off));
+            if Some(home) == self.failed {
+                lost.push(s);
+            } else {
+                normal_per_server.entry(home).or_default().push(s);
+            }
+        }
+
+        if !lost.is_empty() {
+            match scheme {
+                Scheme::Raid0 => {
+                    return Err(CsarError::DataLoss(format!(
+                        "RAID0 cannot serve {} span(s) on failed server {}",
+                        lost.len(),
+                        self.failed.expect("failure required")
+                    )));
+                }
+                Scheme::Raid1 => {
+                    for s in &lost {
+                        mirror_per_server
+                            .entry(ly.mirror_server(ly.block_of(s.logical_off)))
+                            .or_default()
+                            .push(*s);
+                    }
+                }
+                _ => {} // parity schemes handled below, per span
+            }
+        }
+
+        for (srv, spans) in normal_per_server {
+            self.normal.push((self.batch.len(), spans.clone()));
+            self.batch.push((srv, normal_req(spans)));
+        }
+        for (srv, spans) in mirror_per_server {
+            self.normal.push((self.batch.len(), spans.clone()));
+            self.batch.push((srv, Request::ReadMirror { hdr: self.hdr, spans }));
+        }
+
+        if scheme.uses_parity() {
+            let unit = ly.stripe_unit;
+            for s in lost {
+                let block = ly.block_of(s.logical_off);
+                let group = ly.group_of_block(block);
+                let intra = s.logical_off % unit;
+                let mut others = Vec::new();
+                for b in ly.group_blocks(group) {
+                    if b == block {
+                        continue;
+                    }
+                    let other_span = Span { logical_off: b * unit + intra, len: s.len };
+                    others.push(self.batch.len());
+                    self.batch.push((
+                        ly.home_server(b),
+                        Request::ReadData { hdr: self.hdr, spans: vec![other_span] },
+                    ));
+                }
+                let parity = self.batch.len();
+                self.batch.push((
+                    ly.parity_server(group),
+                    Request::ParityRead { hdr: self.hdr, group, intra, len: s.len },
+                ));
+                let overlay = if scheme == Scheme::Hybrid {
+                    let idx = self.batch.len();
+                    self.batch.push((
+                        ly.mirror_server(block),
+                        Request::OverflowFetch { hdr: self.hdr, spans: vec![s], mirror: true },
+                    ));
+                    Some(idx)
+                } else {
+                    None
+                };
+                self.recon.push(ReconJob { span: s, others, parity: Some(parity), overlay });
+            }
+        }
+        Ok(())
+    }
+
+    fn assemble(&mut self) -> Action {
+        self.segments.sort_by_key(|(o, _)| *o);
+        // Verify the segments partition [off, off+len).
+        let mut cursor = self.off;
+        for (o, p) in &self.segments {
+            if *o != cursor {
+                return self.fail(CsarError::Protocol(format!(
+                    "read assembly gap at {cursor} (next segment at {o})"
+                )));
+            }
+            cursor += p.len();
+        }
+        if cursor != self.off + self.len {
+            return self.fail(CsarError::Protocol("read assembly short".into()));
+        }
+        let parts: Vec<Payload> = self.segments.drain(..).map(|(_, p)| p).collect();
+        self.state = State::Finished;
+        Action::Done(Ok(OpOutput::Read { payload: Payload::concat(&parts) }))
+    }
+
+    fn fail(&mut self, e: CsarError) -> Action {
+        self.state = State::Finished;
+        Action::Done(Err(e))
+    }
+}
+
+impl OpDriver for ReadDriver {
+    fn begin(&mut self) -> Action {
+        debug_assert_eq!(self.state, State::Init);
+        if let Err(e) = self.build() {
+            return self.fail(e);
+        }
+        self.state = State::Await;
+        Action::Send(std::mem::take(&mut self.batch))
+    }
+
+    fn on_replies(&mut self, replies: Vec<Response>) -> Action {
+        debug_assert_eq!(self.state, State::Await);
+        if let Some(e) = first_error(&replies) {
+            return self.fail(e);
+        }
+        // Normal segments: slice each request's payload by its spans.
+        for (req_idx, spans) in std::mem::take(&mut self.normal) {
+            let payload = match replies[req_idx].clone().into_payload() {
+                Ok(p) => p,
+                Err(e) => return self.fail(e),
+            };
+            let mut cursor = 0u64;
+            for s in spans {
+                self.segments.push((s.logical_off, payload.slice(cursor, s.len)));
+                cursor += s.len;
+            }
+        }
+        // Reconstruction jobs.
+        let jobs = std::mem::take(&mut self.recon);
+        let mut compute_bytes = 0u64;
+        for job in jobs {
+            let mut acc: Option<Payload> = None;
+            let fold = |p: Payload, acc: &mut Option<Payload>| match acc.take() {
+                None => *acc = Some(p),
+                Some(a) => *acc = Some(a.xor(&p)),
+            };
+            for idx in &job.others {
+                match replies[*idx].clone().into_payload() {
+                    Ok(p) => fold(p, &mut acc),
+                    Err(e) => return self.fail(e),
+                }
+            }
+            if let Some(idx) = job.parity {
+                match replies[idx].clone().into_payload() {
+                    Ok(p) => fold(p, &mut acc),
+                    Err(e) => return self.fail(e),
+                }
+            }
+            let mut rebuilt = acc.expect("reconstruction with no inputs");
+            compute_bytes += rebuilt.len() * (job.others.len() as u64 + 1);
+            // Hybrid: overlay the overflow-mirror runs.
+            if let Some(idx) = job.overlay {
+                let runs = match &replies[idx] {
+                    Response::Runs { runs } => runs.clone(),
+                    Response::Err(e) => return self.fail(e.clone()),
+                    other => {
+                        return self.fail(CsarError::Protocol(format!(
+                            "expected Runs reply, got {other:?}"
+                        )))
+                    }
+                };
+                for (run_off, run_pay) in runs {
+                    let s = job.span;
+                    debug_assert!(run_off >= s.logical_off && run_off + run_pay.len() <= s.end());
+                    let a = run_off - s.logical_off;
+                    let before = rebuilt.slice(0, a);
+                    let after =
+                        rebuilt.slice(a + run_pay.len(), s.len - a - run_pay.len());
+                    rebuilt = Payload::concat(&[before, run_pay, after]);
+                }
+            }
+            self.segments.push((job.span.logical_off, rebuilt));
+        }
+        if compute_bytes > 0 {
+            self.state = State::Computing;
+            Action::Compute { bytes: compute_bytes }
+        } else {
+            self.assemble()
+        }
+    }
+
+    fn on_compute_done(&mut self) -> Action {
+        debug_assert_eq!(self.state, State::Computing);
+        self.assemble()
+    }
+}

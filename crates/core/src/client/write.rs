@@ -1,0 +1,691 @@
+//! Write drivers for the four redundancy schemes.
+//!
+//! * **RAID0** — one `WriteData` per server.
+//! * **RAID1** — `WriteData` plus `WriteMirror` to the next server.
+//! * **RAID5** (and its measurement variants) — whole parity groups get
+//!   freshly computed parity; partial groups do the §2 read-modify-write:
+//!   read old data + old parity (taking the parity lock), compute
+//!   `P' = P ⊕ D_old ⊕ D_new`, write new data + new parity (releasing
+//!   the lock). With two partial groups the lock reads are serialized
+//!   lower-group-first (§5.1 deadlock avoidance).
+//! * **Hybrid** — whole groups take the RAID5 path (additionally
+//!   invalidating overflowed ranges); partial groups are appended to the
+//!   overflow region of each block's home server and mirrored to the
+//!   next server. No reads, no locks, in-place data untouched.
+
+use super::{first_error, Action, OpDriver, OpOutput};
+use crate::error::CsarError;
+use crate::layout::{Layout, Span};
+use crate::manager::FileMeta;
+use crate::proto::{ParityPart, ReqHeader, Request, Response, Scheme, ServerId};
+use csar_store::Payload;
+use std::collections::BTreeMap;
+
+/// Client-side write state machine. Create with [`WriteDriver::new`],
+/// drive via [`OpDriver`].
+#[derive(Debug)]
+pub struct WriteDriver {
+    hdr: ReqHeader,
+    off: u64,
+    payload: Payload,
+    state: State,
+    /// Partial-group RMW contexts (0..=2 entries, lower group first).
+    partials: Vec<Partial>,
+    /// Whole-group region, if any.
+    full: Option<(u64, u64)>,
+    /// Computed parity per whole group.
+    full_parities: Vec<(u64, Payload)>,
+    /// Fail-stopped server to write around (degraded mode).
+    failed: Option<ServerId>,
+    /// Partial spans written in place WITHOUT a parity RMW because the
+    /// group's parity server is the failed one (the group is left
+    /// unprotected until rebuild).
+    plain_partial_spans: Vec<Span>,
+    /// Construction-time rejection (e.g. RAID0 spans on the failed
+    /// server), reported by `begin`.
+    planning_error: Option<CsarError>,
+}
+
+#[derive(Debug)]
+struct Partial {
+    group: u64,
+    /// Length of this partial region of the write.
+    len: u64,
+    /// Per-block spans of the region.
+    spans: Vec<Span>,
+    /// The parity byte-range this update touches: the union of the
+    /// spans' intra-block ranges. Reading/writing only this range (not
+    /// the whole parity block) is what keeps RAID5 small writes from
+    /// paying a full stripe-unit of parity traffic per request.
+    intra_lo: u64,
+    intra_hi: u64,
+    old_data: Option<Payload>,
+    old_parity: Option<Payload>,
+    new_parity: Option<Payload>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Init,
+    /// RAID5 family: waiting for the first batch (lock-read of the lower
+    /// partial group + all old-data reads; for the no-lock variant both
+    /// parity reads ride in this batch).
+    AwaitReadsA,
+    /// Waiting for the lock-read of the higher partial group.
+    AwaitReadsB,
+    Computing,
+    AwaitWrites,
+    Finished,
+}
+
+impl WriteDriver {
+    /// Plan a write of `payload` at logical offset `off` of the file.
+    ///
+    /// # Panics
+    /// Panics if the payload is empty (writes of zero bytes are the
+    /// caller's no-op) or the scheme is invalid for the layout.
+    pub fn new(meta: &FileMeta, off: u64, payload: Payload) -> Self {
+        Self::new_degraded(meta, off, payload, None)
+    }
+
+    /// Plan a write around a fail-stopped server. Degraded writes keep
+    /// the file reconstructible:
+    ///
+    /// * **RAID0** — fails with `DataLoss` when any span is homed on the
+    ///   failed server (no redundancy to absorb it);
+    /// * **RAID1** — writes only the surviving copy of each block;
+    /// * **RAID5/Hybrid whole groups** — skip the failed server's piece;
+    ///   a lost *data* block's new contents are implied by the group's
+    ///   fresh parity, a lost *parity* block leaves the group unprotected
+    ///   until rebuild;
+    /// * **Hybrid partial groups** — write the surviving overflow copy
+    ///   (primary or mirror, whichever is alive);
+    /// * **RAID5 partial groups** — proceed without the parity RMW when
+    ///   the failed server holds the *parity*; fail with `DataLoss` when
+    ///   it holds the data (nowhere safe to put the bytes — the
+    ///   asymmetry the Hybrid scheme's overflow mirroring removes).
+    ///
+    /// After any degraded write the failed server's contents are stale:
+    /// it must be restored via `rebuild`, never by bringing the old disk
+    /// back.
+    ///
+    /// # Panics
+    /// Panics if the payload is empty (writes of zero bytes are the
+    /// caller's no-op) or the scheme is invalid for the layout.
+    pub fn new_degraded(
+        meta: &FileMeta,
+        off: u64,
+        payload: Payload,
+        failed: Option<ServerId>,
+    ) -> Self {
+        assert!(!payload.is_empty(), "zero-length writes are a caller-side no-op");
+        meta.layout.check_scheme(meta.scheme).expect("scheme/layout mismatch");
+        let ly = meta.layout;
+        let hdr = ReqHeader { fh: meta.fh, layout: ly, scheme: meta.scheme };
+        let mut partials = Vec::new();
+        let mut full = None;
+        let mut plain_partial_spans = Vec::new();
+        let mut planning_error = None;
+
+        if let Some(f) = failed {
+            let affected = ly
+                .spans(off, payload.len())
+                .iter()
+                .any(|s| ly.home_server(ly.block_of(s.logical_off)) == f);
+            if meta.scheme == Scheme::Raid0 && affected {
+                planning_error = Some(CsarError::DataLoss(format!(
+                    "RAID0 cannot write blocks homed on failed server {f}"
+                )));
+            }
+            // Degenerate single-server RAID1: home == mirror, so a failed
+            // server leaves nowhere to put the bytes.
+            if meta.scheme == Scheme::Raid1 && ly.servers == 1 && affected {
+                planning_error = Some(CsarError::DataLoss(
+                    "single-server RAID1 has no surviving copy to write".into(),
+                ));
+            }
+        }
+
+        if meta.scheme.uses_parity() {
+            let split = ly.split_write(off, payload.len());
+            for (po, pl) in split.partials() {
+                let spans = ly.spans(po, pl);
+                let unit = ly.stripe_unit;
+                let group = ly.group_of_off(po);
+                if meta.scheme != Scheme::Hybrid {
+                    if let Some(f) = failed {
+                        if spans.iter().any(|s| ly.home_server(ly.block_of(s.logical_off)) == f) {
+                            // RAID5 family: the partial's data block lives
+                            // on the dead server and a safe RMW is
+                            // impossible.
+                            planning_error = Some(CsarError::DataLoss(format!(
+                                "RAID5 cannot degraded-write a partial stripe whose data is on failed server {f}; the Hybrid scheme's overflow mirroring exists for this case"
+                            )));
+                            continue;
+                        }
+                        if ly.parity_server(group) == f {
+                            // Parity unavailable: write the data in place,
+                            // leave the group unprotected until rebuild.
+                            plain_partial_spans.extend(spans);
+                            continue;
+                        }
+                    }
+                }
+                let intra_lo = spans.iter().map(|s| s.logical_off % unit).min().unwrap_or(0);
+                let intra_hi = spans
+                    .iter()
+                    .map(|s| s.logical_off % unit + s.len)
+                    .max()
+                    .unwrap_or(unit);
+                partials.push(Partial {
+                    group,
+                    len: pl,
+                    spans,
+                    intra_lo,
+                    intra_hi,
+                    old_data: None,
+                    old_parity: None,
+                    new_parity: None,
+                });
+            }
+            full = split.full;
+        }
+        Self {
+            hdr,
+            off,
+            payload,
+            state: State::Init,
+            partials,
+            full,
+            full_parities: Vec::new(),
+            failed,
+            plain_partial_spans,
+            planning_error,
+        }
+    }
+
+    fn layout(&self) -> &Layout {
+        &self.hdr.layout
+    }
+
+    fn scheme(&self) -> Scheme {
+        self.hdr.scheme
+    }
+
+    /// Slice of the write payload covering `[o, o+l)` of the file.
+    fn payload_at(&self, o: u64, l: u64) -> Payload {
+        self.payload.slice(o - self.off, l)
+    }
+
+    /// Like the payload but with blank contents — the RAID5-npc variant
+    /// transfers parity-sized data without computing it.
+    fn blank(&self, len: u64) -> Payload {
+        match &self.payload {
+            Payload::Data(_) => Payload::zeros(len as usize),
+            Payload::Phantom(_) => Payload::Phantom(len),
+        }
+    }
+
+    // -------------------------------------------------------------------
+    // Batch builders
+    // -------------------------------------------------------------------
+
+    /// RAID0/RAID1: everything in one batch. In degraded mode requests
+    /// for the failed server are dropped (RAID1's surviving copy carries
+    /// the write; RAID0 was rejected at planning time).
+    fn simple_batch(&self) -> Vec<(ServerId, Request)> {
+        let ly = self.layout();
+        let mut batch = Vec::new();
+        for (srv, spans) in ly.spans_by_server(self.off, self.payload.len()) {
+            if Some(srv) == self.failed {
+                continue;
+            }
+            let spans = spans
+                .into_iter()
+                .map(|s| (s, self.payload_at(s.logical_off, s.len)))
+                .collect();
+            batch.push((
+                srv,
+                Request::WriteData {
+                    hdr: self.hdr,
+                    spans,
+                    invalidate_primary: false,
+                    invalidate_mirror_spans: vec![],
+                },
+            ));
+        }
+        if self.scheme() == Scheme::Raid1 {
+            for (srv, spans) in ly.spans_by_mirror_server(self.off, self.payload.len()) {
+                if Some(srv) == self.failed {
+                    continue;
+                }
+                let spans = spans
+                    .into_iter()
+                    .map(|s| (s, self.payload_at(s.logical_off, s.len)))
+                    .collect();
+                batch.push((srv, Request::WriteMirror { hdr: self.hdr, spans }));
+            }
+        }
+        batch
+    }
+
+    /// First read batch of the RAID5 RMW path: parity lock-read of the
+    /// first partial group (plus the second too under the no-lock
+    /// variant, where no serialization is needed), and old-data reads for
+    /// every partial span, batched per server.
+    fn rmw_read_batch_a(&self) -> Vec<(ServerId, Request)> {
+        let ly = self.layout();
+        let mut batch = Vec::new();
+        let locking = self.scheme().uses_locking();
+        let parity_groups: &[usize] = if locking || self.partials.len() == 1 { &[0] } else { &[0, 1] };
+        for &i in parity_groups {
+            let p = &self.partials[i];
+            let srv = ly.parity_server(p.group);
+            let (intra, len) = (p.intra_lo, p.intra_hi - p.intra_lo);
+            let req = if locking {
+                Request::ParityReadLock { hdr: self.hdr, group: p.group, intra, len }
+            } else {
+                Request::ParityRead { hdr: self.hdr, group: p.group, intra, len }
+            };
+            batch.push((srv, req));
+        }
+        // Old-data reads for all partial spans, one request per server.
+        let mut per_server: BTreeMap<ServerId, Vec<Span>> = BTreeMap::new();
+        for p in &self.partials {
+            for s in &p.spans {
+                let srv = ly.home_server(ly.block_of(s.logical_off));
+                per_server.entry(srv).or_default().push(*s);
+            }
+        }
+        for (srv, spans) in per_server {
+            batch.push((srv, Request::ReadData { hdr: self.hdr, spans }));
+        }
+        batch
+    }
+
+    /// Second read batch: the lock-read for the higher partial group
+    /// (§5.1: strictly after the lower group's lock is held).
+    fn rmw_read_batch_b(&self) -> Vec<(ServerId, Request)> {
+        let ly = self.layout();
+        let p = &self.partials[1];
+        vec![(
+            ly.parity_server(p.group),
+            Request::ParityReadLock {
+                hdr: self.hdr,
+                group: p.group,
+                intra: p.intra_lo,
+                len: p.intra_hi - p.intra_lo,
+            },
+        )]
+    }
+
+    /// Compute new parity for all partial groups (RMW) and all whole
+    /// groups. Returns bytes of XOR work for the `Compute` action.
+    fn compute_parities(&mut self) -> u64 {
+        let ly = *self.layout();
+        let unit = ly.stripe_unit;
+        let npc = self.scheme() == Scheme::Raid5NoParityCompute;
+        let mut bytes = 0u64;
+
+        // Whole groups: fold the n-1 fresh blocks.
+        if let Some((fo, flen)) = self.full {
+            for g in ly.full_groups(fo, flen) {
+                let parity = if npc {
+                    self.blank(unit)
+                } else {
+                    let first = ly.group_first_block(g);
+                    let mut acc = self.payload_at(first * unit, unit);
+                    for b in first + 1..first + ly.group_width_blocks() {
+                        acc = acc.xor(&self.payload_at(b * unit, unit));
+                    }
+                    bytes += ly.group_width_blocks() * unit;
+                    acc
+                };
+                self.full_parities.push((g, parity));
+            }
+        }
+
+        // Partial groups (RAID5 family only — Hybrid never reads/updates
+        // parity for partials): P' = P ⊕ (D_old ⊕ D_new) folded at each
+        // span's intra-block offset.
+        if self.scheme() != Scheme::Hybrid {
+            for i in 0..self.partials.len() {
+                let (spans, old_data, old_parity, len_total, lo, hi) = {
+                    let p = &self.partials[i];
+                    (
+                        p.spans.clone(),
+                        p.old_data.clone(),
+                        p.old_parity.clone(),
+                        p.len,
+                        p.intra_lo,
+                        p.intra_hi,
+                    )
+                };
+                let old_parity = old_parity.expect("old parity not read");
+                debug_assert_eq!(old_parity.len(), hi - lo);
+                let new_parity = if npc {
+                    self.blank(hi - lo)
+                } else {
+                    let old_data = old_data.expect("old data not read");
+                    // Walk spans: old_data is their concatenation. The
+                    // parity buffer covers intra range [lo, hi).
+                    let mut parity = old_parity;
+                    let mut consumed = 0u64;
+                    for s in &spans {
+                        let old = old_data.slice(consumed, s.len);
+                        consumed += s.len;
+                        let new = self.payload_at(s.logical_off, s.len);
+                        let delta = old.xor(&new);
+                        let intra = s.logical_off % unit - lo;
+                        // Fold delta into parity at the intra offset.
+                        let before = parity.slice(0, intra);
+                        let target = parity.slice(intra, s.len);
+                        let after =
+                            parity.slice(intra + s.len, (hi - lo) - intra - s.len);
+                        parity = Payload::concat(&[before, target.xor(&delta), after]);
+                    }
+                    bytes += 3 * len_total;
+                    parity
+                };
+                self.partials[i].new_parity = Some(new_parity);
+            }
+        }
+        bytes
+    }
+
+    /// The final write batch: per-server data writes, parity writes,
+    /// unlock-writes for RMW groups, and (Hybrid) overflow appends.
+    fn write_batch(&mut self) -> Vec<(ServerId, Request)> {
+        let ly = *self.layout();
+        let unit = ly.stripe_unit;
+        let hybrid = self.scheme() == Scheme::Hybrid;
+        let locking = self.scheme().uses_locking();
+
+        // Per-server accumulation for the full region.
+        let mut data_spans: BTreeMap<ServerId, Vec<(Span, Payload)>> = BTreeMap::new();
+        let mut parity_parts: BTreeMap<ServerId, Vec<ParityPart>> = BTreeMap::new();
+        let mut mirror_inval: BTreeMap<ServerId, Vec<Span>> = BTreeMap::new();
+
+        if let Some((fo, flen)) = self.full {
+            for (srv, spans) in ly.spans_by_server(fo, flen) {
+                if Some(srv) == self.failed {
+                    // The dead block's fresh contents are implied by the
+                    // group's new parity.
+                    continue;
+                }
+                let spans = spans
+                    .into_iter()
+                    .map(|s| (s, self.payload_at(s.logical_off, s.len)))
+                    .collect::<Vec<_>>();
+                data_spans.insert(srv, spans);
+            }
+            for (g, parity) in self.full_parities.drain(..) {
+                let psrv = ly.parity_server(g);
+                if Some(psrv) == self.failed {
+                    // Group unprotected until rebuild.
+                    continue;
+                }
+                parity_parts
+                    .entry(psrv)
+                    .or_default()
+                    .push(ParityPart { group: g, intra: 0, payload: parity });
+            }
+            if hybrid {
+                for (srv, spans) in ly.spans_by_mirror_server(fo, flen) {
+                    if Some(srv) == self.failed {
+                        continue;
+                    }
+                    mirror_inval.insert(srv, spans);
+                }
+            }
+        }
+
+        let mut batch: Vec<(ServerId, Request)> = Vec::new();
+        // Unlock-writes go out LAST (the paper's step 3 order: "write
+        // out the new data and new parity"): the lock is held while the
+        // op's data streams through the client link, which is what makes
+        // contended partial stripes serialize whole writes (Fig. 6a's
+        // 25-process RAID5 drop).
+        let mut tail: Vec<(ServerId, Request)> = Vec::new();
+
+        // RAID5-family partial writes: in-place data + parity unlock.
+        // Plain partial spans (their parity server is the failed one)
+        // are written in place without an RMW.
+        if !hybrid {
+            let mut partial_data: BTreeMap<ServerId, Vec<(Span, Payload)>> = BTreeMap::new();
+            for s in self
+                .partials
+                .iter()
+                .flat_map(|p| p.spans.iter())
+                .chain(self.plain_partial_spans.iter())
+            {
+                let srv = ly.home_server(ly.block_of(s.logical_off));
+                partial_data
+                    .entry(srv)
+                    .or_default()
+                    .push((*s, self.payload_at(s.logical_off, s.len)));
+            }
+            for (srv, spans) in partial_data {
+                data_spans.entry(srv).or_default().extend(spans);
+            }
+            for p in &mut self.partials {
+                let parity = p.new_parity.take().expect("parity not computed");
+                let srv = ly.parity_server(p.group);
+                if locking {
+                    tail.push((
+                        srv,
+                        Request::ParityWriteUnlock {
+                            hdr: self.hdr,
+                            group: p.group,
+                            intra: p.intra_lo,
+                            payload: parity,
+                        },
+                    ));
+                } else {
+                    parity_parts
+                        .entry(srv)
+                        .or_default()
+                        .push(ParityPart { group: p.group, intra: p.intra_lo, payload: parity });
+                }
+            }
+        }
+
+        // Hybrid partial writes: overflow appends (primary + mirror). In
+        // degraded mode the surviving copy carries the write alone.
+        if hybrid {
+            let mut primary: BTreeMap<ServerId, Vec<(Span, Payload)>> = BTreeMap::new();
+            let mut mirror: BTreeMap<ServerId, Vec<(Span, Payload)>> = BTreeMap::new();
+            for p in &self.partials {
+                for s in &p.spans {
+                    let b = ly.block_of(s.logical_off);
+                    let pay = self.payload_at(s.logical_off, s.len);
+                    if Some(ly.home_server(b)) != self.failed {
+                        primary.entry(ly.home_server(b)).or_default().push((*s, pay.clone()));
+                    }
+                    if Some(ly.mirror_server(b)) != self.failed {
+                        mirror.entry(ly.mirror_server(b)).or_default().push((*s, pay));
+                    }
+                }
+            }
+            for (srv, spans) in primary {
+                batch.push((srv, Request::OverflowWrite { hdr: self.hdr, spans, mirror: false }));
+            }
+            for (srv, spans) in mirror {
+                batch.push((srv, Request::OverflowWrite { hdr: self.hdr, spans, mirror: true }));
+            }
+        }
+
+        // Emit per-server data writes (with Hybrid invalidations attached)
+        // and parity writes; leftover mirror invalidations ride on the
+        // parity write of that server.
+        let servers: Vec<ServerId> = data_spans
+            .keys()
+            .chain(parity_parts.keys())
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for srv in servers {
+            let inval = mirror_inval.remove(&srv).unwrap_or_default();
+            let has_data = data_spans.contains_key(&srv);
+            if let Some(spans) = data_spans.remove(&srv) {
+                batch.push((
+                    srv,
+                    Request::WriteData {
+                        hdr: self.hdr,
+                        spans,
+                        invalidate_primary: hybrid,
+                        invalidate_mirror_spans: if has_data { inval.clone() } else { vec![] },
+                    },
+                ));
+            }
+            if let Some(parts) = parity_parts.remove(&srv) {
+                batch.push((
+                    srv,
+                    Request::WriteParity {
+                        hdr: self.hdr,
+                        parts,
+                        invalidate_mirror_spans: if has_data { vec![] } else { inval },
+                    },
+                ));
+            }
+        }
+        batch.extend(tail);
+        debug_assert!(
+            mirror_inval.is_empty(),
+            "mirror invalidations left without a carrier request: {mirror_inval:?}"
+        );
+        let _ = unit;
+        batch
+    }
+
+    fn finish(&mut self) -> Action {
+        self.state = State::Finished;
+        Action::Done(Ok(OpOutput::Written { bytes: self.payload.len() }))
+    }
+
+    fn fail(&mut self, e: CsarError) -> Action {
+        self.state = State::Finished;
+        Action::Done(Err(e))
+    }
+}
+
+impl OpDriver for WriteDriver {
+    fn begin(&mut self) -> Action {
+        debug_assert_eq!(self.state, State::Init);
+        if let Some(e) = self.planning_error.take() {
+            return self.fail(e);
+        }
+        match self.scheme() {
+            Scheme::Raid0 | Scheme::Raid1 => {
+                self.state = State::AwaitWrites;
+                Action::Send(self.simple_batch())
+            }
+            Scheme::Hybrid => {
+                // No reads ever: compute full-group parity (if any) and write.
+                self.state = State::Computing;
+                let bytes = self.compute_parities();
+                Action::Compute { bytes }
+            }
+            _ => {
+                if self.partials.is_empty() {
+                    self.state = State::Computing;
+                    let bytes = self.compute_parities();
+                    Action::Compute { bytes }
+                } else {
+                    self.state = State::AwaitReadsA;
+                    Action::Send(self.rmw_read_batch_a())
+                }
+            }
+        }
+    }
+
+    fn on_replies(&mut self, replies: Vec<Response>) -> Action {
+        if let Some(e) = first_error(&replies) {
+            return self.fail(e);
+        }
+        match self.state {
+            State::AwaitReadsA => {
+                // Replies: parity reads (1, or 2 for no-lock) then data
+                // reads per server in ascending server order.
+                let locking = self.scheme().uses_locking();
+                let n_parity = if locking || self.partials.len() == 1 { 1 } else { 2 };
+                let mut iter = replies.into_iter();
+                for i in 0..n_parity {
+                    match iter.next() {
+                        Some(r) => match r.into_payload() {
+                            Ok(p) => self.partials[i].old_parity = Some(p),
+                            Err(e) => return self.fail(e),
+                        },
+                        None => {
+                            return self.fail(CsarError::Protocol("missing parity reply".into()))
+                        }
+                    }
+                }
+                // Data replies: reconstruct which spans went to which
+                // server (same grouping as rmw_read_batch_a).
+                let ly = *self.layout();
+                let mut per_server: BTreeMap<ServerId, Vec<(usize, usize)>> = BTreeMap::new();
+                for (pi, p) in self.partials.iter().enumerate() {
+                    for (si, s) in p.spans.iter().enumerate() {
+                        let srv = ly.home_server(ly.block_of(s.logical_off));
+                        per_server.entry(srv).or_default().push((pi, si));
+                    }
+                }
+                // Gather per-partial old data in span order.
+                let mut per_partial: Vec<Vec<Option<Payload>>> = self
+                    .partials
+                    .iter()
+                    .map(|p| vec![None; p.spans.len()])
+                    .collect();
+                for (_, refs) in per_server {
+                    let reply = match iter.next() {
+                        Some(r) => match r.into_payload() {
+                            Ok(p) => p,
+                            Err(e) => return self.fail(e),
+                        },
+                        None => return self.fail(CsarError::Protocol("missing data reply".into())),
+                    };
+                    let mut cursor = 0u64;
+                    for (pi, si) in refs {
+                        let len = self.partials[pi].spans[si].len;
+                        per_partial[pi][si] = Some(reply.slice(cursor, len));
+                        cursor += len;
+                    }
+                }
+                for (pi, parts) in per_partial.into_iter().enumerate() {
+                    let parts: Vec<Payload> = parts.into_iter().map(|p| p.expect("span gap")).collect();
+                    self.partials[pi].old_data = Some(Payload::concat(&parts));
+                }
+
+                if locking && self.partials.len() == 2 {
+                    self.state = State::AwaitReadsB;
+                    Action::Send(self.rmw_read_batch_b())
+                } else {
+                    self.state = State::Computing;
+                    let bytes = self.compute_parities();
+                    Action::Compute { bytes }
+                }
+            }
+            State::AwaitReadsB => {
+                let mut iter = replies.into_iter();
+                match iter.next().map(Response::into_payload) {
+                    Some(Ok(p)) => self.partials[1].old_parity = Some(p),
+                    Some(Err(e)) => return self.fail(e),
+                    None => return self.fail(CsarError::Protocol("missing parity reply".into())),
+                }
+                self.state = State::Computing;
+                let bytes = self.compute_parities();
+                Action::Compute { bytes }
+            }
+            State::AwaitWrites => self.finish(),
+            s => self.fail(CsarError::Protocol(format!("unexpected replies in state {s:?}"))),
+        }
+    }
+
+    fn on_compute_done(&mut self) -> Action {
+        debug_assert_eq!(self.state, State::Computing);
+        self.state = State::AwaitWrites;
+        Action::Send(self.write_batch())
+    }
+}

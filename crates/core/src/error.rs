@@ -1,0 +1,64 @@
+//! Error type shared across the CSAR stack.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors surfaced by CSAR operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CsarError {
+    /// The named file does not exist at the manager.
+    NoSuchFile(String),
+    /// A file with this name already exists.
+    FileExists(String),
+    /// No metadata registered for this handle.
+    NoSuchHandle(u64),
+    /// The contacted I/O server is down (fail-stop).
+    ServerDown(u32),
+    /// Data cannot be served or reconstructed (e.g. RAID0 after a
+    /// failure, or a second concurrent failure).
+    DataLoss(String),
+    /// A request was malformed (span crossing a block boundary, wrong
+    /// server, bad length...). Indicates a client bug.
+    Protocol(String),
+    /// The requested scheme needs more I/O servers than configured
+    /// (RAID5/Hybrid require at least two).
+    InsufficientServers { scheme: String, servers: u32 },
+    /// Transport-level failure in the live cluster (channel closed).
+    Transport(String),
+}
+
+impl fmt::Display for CsarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsarError::NoSuchFile(n) => write!(f, "no such file: {n}"),
+            CsarError::FileExists(n) => write!(f, "file exists: {n}"),
+            CsarError::NoSuchHandle(h) => write!(f, "no such handle: {h}"),
+            CsarError::ServerDown(s) => write!(f, "I/O server {s} is down"),
+            CsarError::DataLoss(why) => write!(f, "data loss: {why}"),
+            CsarError::Protocol(why) => write!(f, "protocol error: {why}"),
+            CsarError::InsufficientServers { scheme, servers } => {
+                write!(f, "{scheme} needs at least 2 I/O servers, got {servers}")
+            }
+            CsarError::Transport(why) => write!(f, "transport error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CsarError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CsarError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(CsarError::NoSuchFile("a".into()).to_string(), "no such file: a");
+        assert_eq!(CsarError::ServerDown(3).to_string(), "I/O server 3 is down");
+        assert!(CsarError::InsufficientServers { scheme: "raid5".to_string(), servers: 1 }
+            .to_string()
+            .contains("raid5"));
+    }
+}

@@ -1,0 +1,533 @@
+//! Striping and parity-group layout arithmetic.
+//!
+//! Data layout is *identical to stock PVFS* (a design requirement the
+//! paper states twice: it let CSAR leave the original PVFS code intact):
+//! the file is split into `stripe_unit`-byte blocks dealt round-robin
+//! over `n` I/O servers. Block `b` lives on server `b mod n` at offset
+//! `(b div n) · unit` of that server's local data file.
+//!
+//! Parity layout is derived from the paper's Figure 2 (3 servers:
+//! `P[0-1]` = parity(D0, D1) stored on server 2): parity **group** `g`
+//! covers the `n-1` consecutive data blocks `[g·(n-1), (g+1)·(n-1))`.
+//! Those blocks occupy `n-1` *distinct* consecutive servers; the one
+//! server left out stores the group's parity block in its redundancy
+//! file. The excluded server rotates naturally:
+//! `parity_server(g) = (g+1)(n-1) mod n`, and every window of `n`
+//! consecutive groups places exactly one parity block on each server, so
+//! the parity block of group `g` sits at row `g div n` of the parity
+//! file. Storage overhead is `1/(n-1)` — exactly what Table 2 of the
+//! paper shows (e.g. BTIO Class B: 2037/1698 ⇒ six I/O servers).
+//!
+//! The **mirror** of block `b` (RAID1, and the overflow mirror under
+//! Hybrid) lives on server `home(b) + 1 mod n`, at the same row offset
+//! the block has at home.
+
+use crate::error::CsarError;
+use serde::{Deserialize, Serialize};
+
+/// Striping geometry of one CSAR file.
+///
+/// ```
+/// use csar_core::Layout;
+/// // The paper's Figure 2: three servers. Data blocks go round-robin;
+/// // parity of group 0 (blocks D0, D1) lands on server 2.
+/// let ly = Layout::new(3, 64 * 1024);
+/// assert_eq!(ly.home_server(0), 0);
+/// assert_eq!(ly.home_server(1), 1);
+/// assert_eq!(ly.group_blocks(0), 0..2);
+/// assert_eq!(ly.parity_server(0), 2);
+/// // A 100 KB write at offset 50 KB splits per the Hybrid rule:
+/// let split = ly.split_write(50 * 1024, 100 * 1024);
+/// assert!(split.head.is_some() && split.tail.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    /// Number of I/O servers the file is striped over.
+    pub servers: u32,
+    /// Stripe unit (block size) in bytes.
+    pub stripe_unit: u64,
+}
+
+/// A contiguous logical byte range that lies within a single stripe
+/// block (and therefore wholly on one server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Logical file offset.
+    pub logical_off: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Span {
+    /// End offset (exclusive).
+    pub fn end(&self) -> u64 {
+        self.logical_off + self.len
+    }
+}
+
+/// The three-way split of a write under the Hybrid rule (§4):
+/// a leading partial parity group, a run of whole groups, and a trailing
+/// partial group. Any of the three can be absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriteSplit {
+    /// Leading partial group `[off, first group boundary)`.
+    pub head: Option<(u64, u64)>,
+    /// Whole-group region `(off, len)`, group-aligned on both sides.
+    pub full: Option<(u64, u64)>,
+    /// Trailing partial group.
+    pub tail: Option<(u64, u64)>,
+}
+
+impl WriteSplit {
+    /// Total bytes across the three parts.
+    pub fn total(&self) -> u64 {
+        [self.head, self.full, self.tail]
+            .iter()
+            .flatten()
+            .map(|(_, l)| l)
+            .sum()
+    }
+
+    /// The partial parts (head, then tail) that exist.
+    pub fn partials(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.head.into_iter().chain(self.tail)
+    }
+}
+
+impl Layout {
+    /// A layout over `servers` I/O servers with `stripe_unit`-byte blocks.
+    ///
+    /// # Panics
+    /// Panics if `servers` or `stripe_unit` is zero.
+    pub fn new(servers: u32, stripe_unit: u64) -> Self {
+        assert!(servers > 0, "need at least one I/O server");
+        assert!(stripe_unit > 0, "stripe unit must be positive");
+        Self { servers, stripe_unit }
+    }
+
+    /// Number of servers as u64 for arithmetic.
+    fn n(&self) -> u64 {
+        self.servers as u64
+    }
+
+    /// Validate that a redundancy scheme can run on this layout.
+    pub fn check_scheme(&self, scheme: crate::proto::Scheme) -> Result<(), CsarError> {
+        use crate::proto::Scheme;
+        match scheme {
+            Scheme::Raid5 | Scheme::Raid5NoLock | Scheme::Raid5NoParityCompute | Scheme::Hybrid
+                if self.servers < 2 =>
+            {
+                Err(CsarError::InsufficientServers { scheme: scheme.label().to_string(), servers: self.servers })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    // ----- block arithmetic ------------------------------------------------
+
+    /// Global block index containing logical offset `off`.
+    pub fn block_of(&self, off: u64) -> u64 {
+        off / self.stripe_unit
+    }
+
+    /// Home server of global block `b`.
+    pub fn home_server(&self, b: u64) -> u32 {
+        (b % self.n()) as u32
+    }
+
+    /// Server holding the mirror of global block `b` (RAID1 redundancy
+    /// file; also the overflow-mirror server under Hybrid).
+    pub fn mirror_server(&self, b: u64) -> u32 {
+        ((b % self.n() + 1) % self.n()) as u32
+    }
+
+    /// Local offset in the *data* file on the home server for
+    /// `intra` bytes into block `b`.
+    pub fn data_local_off(&self, b: u64, intra: u64) -> u64 {
+        debug_assert!(intra < self.stripe_unit);
+        (b / self.n()) * self.stripe_unit + intra
+    }
+
+    /// Local offset in the *mirror* file (same row as at home).
+    pub fn mirror_local_off(&self, b: u64, intra: u64) -> u64 {
+        self.data_local_off(b, intra)
+    }
+
+    /// Map a logical offset to `(block, intra-block offset)`.
+    pub fn locate(&self, off: u64) -> (u64, u64) {
+        (off / self.stripe_unit, off % self.stripe_unit)
+    }
+
+    // ----- parity-group arithmetic -----------------------------------------
+
+    /// Data blocks per parity group (`n-1`).
+    ///
+    /// # Panics
+    /// Panics when `servers < 2` (no parity layout exists).
+    pub fn group_width_blocks(&self) -> u64 {
+        assert!(self.servers >= 2, "parity groups need at least 2 servers");
+        self.n() - 1
+    }
+
+    /// Bytes of data per parity group: `(n-1) · unit`.
+    pub fn group_width_bytes(&self) -> u64 {
+        self.group_width_blocks() * self.stripe_unit
+    }
+
+    /// Parity group containing global data block `b`.
+    pub fn group_of_block(&self, b: u64) -> u64 {
+        b / self.group_width_blocks()
+    }
+
+    /// Parity group containing logical offset `off`.
+    pub fn group_of_off(&self, off: u64) -> u64 {
+        off / self.group_width_bytes()
+    }
+
+    /// First data block of group `g`.
+    pub fn group_first_block(&self, g: u64) -> u64 {
+        g * self.group_width_blocks()
+    }
+
+    /// The data blocks of group `g`.
+    pub fn group_blocks(&self, g: u64) -> std::ops::Range<u64> {
+        let first = self.group_first_block(g);
+        first..first + self.group_width_blocks()
+    }
+
+    /// The server storing the parity block of group `g` — the one server
+    /// holding none of the group's data blocks.
+    pub fn parity_server(&self, g: u64) -> u32 {
+        (((g + 1) * self.group_width_blocks()) % self.n()) as u32
+    }
+
+    /// Local offset in the parity file for `intra` bytes into group `g`'s
+    /// parity block.
+    ///
+    /// Each window of `n` consecutive groups puts exactly one parity
+    /// block on each server, so the row is `g div n`.
+    pub fn parity_local_off(&self, g: u64, intra: u64) -> u64 {
+        debug_assert!(intra < self.stripe_unit);
+        (g / self.n()) * self.stripe_unit + intra
+    }
+
+    /// Logical byte range covered by group `g`: `[g·G, (g+1)·G)`.
+    pub fn group_byte_range(&self, g: u64) -> (u64, u64) {
+        let w = self.group_width_bytes();
+        (g * w, w)
+    }
+
+    // ----- write decomposition ---------------------------------------------
+
+    /// Split `[off, off+len)` by the Hybrid rule: leading partial group,
+    /// whole groups, trailing partial group (§4 of the paper).
+    pub fn split_write(&self, off: u64, len: u64) -> WriteSplit {
+        let mut split = WriteSplit::default();
+        if len == 0 {
+            return split;
+        }
+        let g = self.group_width_bytes();
+        let end = off + len;
+        let first_boundary = off.div_ceil(g) * g;
+        let last_boundary = (end / g) * g;
+
+        if first_boundary >= last_boundary {
+            // No whole group inside. One or two partials depending on
+            // whether the range crosses a boundary.
+            if !off.is_multiple_of(g) && first_boundary < end && first_boundary > off {
+                split.head = Some((off, first_boundary - off));
+                split.tail = Some((first_boundary, end - first_boundary));
+            } else {
+                split.head = Some((off, len));
+            }
+            return split;
+        }
+        if off < first_boundary {
+            split.head = Some((off, first_boundary - off));
+        }
+        if last_boundary > first_boundary {
+            split.full = Some((first_boundary, last_boundary - first_boundary));
+        }
+        if end > last_boundary {
+            split.tail = Some((last_boundary, end - last_boundary));
+        }
+        split
+    }
+
+    /// Decompose a logical range into per-block [`Span`]s.
+    pub fn spans(&self, off: u64, len: u64) -> Vec<Span> {
+        let mut out = Vec::new();
+        let mut cursor = off;
+        let end = off + len;
+        while cursor < end {
+            let (b, intra) = self.locate(cursor);
+            let take = (self.stripe_unit - intra).min(end - cursor);
+            out.push(Span { logical_off: cursor, len: take });
+            debug_assert_eq!(self.block_of(cursor + take - 1), b);
+            cursor += take;
+        }
+        out
+    }
+
+    /// Group the spans of a logical range by home server.
+    pub fn spans_by_server(&self, off: u64, len: u64) -> Vec<(u32, Vec<Span>)> {
+        let mut per: Vec<Vec<Span>> = vec![Vec::new(); self.servers as usize];
+        for s in self.spans(off, len) {
+            per[self.home_server(self.block_of(s.logical_off)) as usize].push(s);
+        }
+        per.into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(s, v)| (s as u32, v))
+            .collect()
+    }
+
+    /// Group the spans of a logical range by *mirror* server.
+    pub fn spans_by_mirror_server(&self, off: u64, len: u64) -> Vec<(u32, Vec<Span>)> {
+        let mut per: Vec<Vec<Span>> = vec![Vec::new(); self.servers as usize];
+        for s in self.spans(off, len) {
+            per[self.mirror_server(self.block_of(s.logical_off)) as usize].push(s);
+        }
+        per.into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(s, v)| (s as u32, v))
+            .collect()
+    }
+
+    /// Which whole parity groups does `[off, off+len)` cover, assuming it
+    /// is group-aligned? Returns the group index range.
+    ///
+    /// # Panics
+    /// Debug-asserts group alignment.
+    pub fn full_groups(&self, off: u64, len: u64) -> std::ops::Range<u64> {
+        let g = self.group_width_bytes();
+        debug_assert_eq!(off % g, 0, "full-group region must start on a boundary");
+        debug_assert_eq!(len % g, 0, "full-group region must be a whole number of groups");
+        off / g..(off + len) / g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn l(n: u32, unit: u64) -> Layout {
+        Layout::new(n, unit)
+    }
+
+    #[test]
+    fn pvfs_striping_round_robin() {
+        let ly = l(3, 100);
+        assert_eq!(ly.home_server(0), 0);
+        assert_eq!(ly.home_server(1), 1);
+        assert_eq!(ly.home_server(2), 2);
+        assert_eq!(ly.home_server(3), 0);
+        assert_eq!(ly.data_local_off(3, 5), 105);
+        assert_eq!(ly.locate(250), (2, 50));
+    }
+
+    #[test]
+    fn figure2_parity_placement() {
+        // Paper Fig. 2: three servers, P[0-1] = parity(D0, D1) on server 2.
+        let ly = l(3, 64);
+        assert_eq!(ly.group_width_blocks(), 2);
+        assert_eq!(ly.group_blocks(0), 0..2);
+        assert_eq!(ly.parity_server(0), 2);
+        // Next groups rotate: D2,D3 → parity on server 1; D4,D5 → server 0.
+        assert_eq!(ly.group_blocks(1), 2..4);
+        assert_eq!(ly.parity_server(1), 1);
+        assert_eq!(ly.parity_server(2), 0);
+        assert_eq!(ly.parity_server(3), 2);
+    }
+
+    #[test]
+    fn parity_server_never_hosts_its_groups_data() {
+        for n in 2..10u32 {
+            let ly = l(n, 16);
+            for g in 0..50u64 {
+                let p = ly.parity_server(g);
+                for b in ly.group_blocks(g) {
+                    assert_ne!(ly.home_server(b), p, "n={n} g={g} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_rows_are_unique_per_server() {
+        let ly = l(5, 16);
+        use std::collections::HashSet;
+        let mut seen: HashSet<(u32, u64)> = HashSet::new();
+        for g in 0..200u64 {
+            let key = (ly.parity_server(g), ly.parity_local_off(g, 0));
+            assert!(seen.insert(key), "parity slot collision for group {g}");
+        }
+    }
+
+    #[test]
+    fn mirror_is_next_server_same_row() {
+        let ly = l(4, 32);
+        assert_eq!(ly.mirror_server(0), 1);
+        assert_eq!(ly.mirror_server(3), 0);
+        assert_eq!(ly.mirror_local_off(7, 10), ly.data_local_off(7, 10));
+    }
+
+    #[test]
+    fn split_write_aligned_full_groups_only() {
+        let ly = l(4, 10); // group = 30 bytes
+        let s = ly.split_write(30, 60);
+        assert_eq!(s.head, None);
+        assert_eq!(s.full, Some((30, 60)));
+        assert_eq!(s.tail, None);
+    }
+
+    #[test]
+    fn split_write_head_full_tail() {
+        let ly = l(4, 10); // G = 30
+        let s = ly.split_write(25, 70); // [25, 95): head [25,30), full [30,90), tail [90,95)
+        assert_eq!(s.head, Some((25, 5)));
+        assert_eq!(s.full, Some((30, 60)));
+        assert_eq!(s.tail, Some((90, 5)));
+        assert_eq!(s.total(), 70);
+    }
+
+    #[test]
+    fn split_write_small_within_one_group() {
+        let ly = l(4, 10);
+        let s = ly.split_write(5, 10); // inside group 0
+        assert_eq!(s.head, Some((5, 10)));
+        assert_eq!(s.full, None);
+        assert_eq!(s.tail, None);
+    }
+
+    #[test]
+    fn split_write_small_crossing_one_boundary() {
+        let ly = l(4, 10); // G = 30
+        let s = ly.split_write(25, 10); // [25,35): crosses 30
+        assert_eq!(s.head, Some((25, 5)));
+        assert_eq!(s.full, None);
+        assert_eq!(s.tail, Some((30, 5)));
+    }
+
+    #[test]
+    fn split_write_exactly_one_group_from_boundary() {
+        let ly = l(4, 10);
+        let s = ly.split_write(0, 30);
+        assert_eq!(s.head, None);
+        assert_eq!(s.full, Some((0, 30)));
+        assert_eq!(s.tail, None);
+    }
+
+    #[test]
+    fn split_write_zero_len() {
+        let ly = l(4, 10);
+        assert_eq!(ly.split_write(17, 0), WriteSplit::default());
+    }
+
+    #[test]
+    fn spans_respect_block_boundaries() {
+        let ly = l(3, 10);
+        let spans = ly.spans(5, 20); // blocks 0 (5..10), 1 (10..20), 2 (20..25)
+        assert_eq!(
+            spans,
+            vec![
+                Span { logical_off: 5, len: 5 },
+                Span { logical_off: 10, len: 10 },
+                Span { logical_off: 20, len: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_by_server_partition() {
+        let ly = l(3, 10);
+        let by = ly.spans_by_server(0, 40); // blocks 0,1,2,3 → servers 0,1,2,0
+        assert_eq!(by.len(), 3);
+        assert_eq!(by[0].0, 0);
+        assert_eq!(by[0].1.len(), 2); // blocks 0 and 3
+        assert_eq!(by[1].1.len(), 1);
+        assert_eq!(by[2].1.len(), 1);
+    }
+
+    #[test]
+    fn check_scheme_requires_two_servers_for_parity() {
+        use crate::proto::Scheme;
+        let one = l(1, 10);
+        assert!(one.check_scheme(Scheme::Raid0).is_ok());
+        assert!(one.check_scheme(Scheme::Raid1).is_ok());
+        assert!(one.check_scheme(Scheme::Raid5).is_err());
+        assert!(one.check_scheme(Scheme::Hybrid).is_err());
+        assert!(l(2, 10).check_scheme(Scheme::Hybrid).is_ok());
+    }
+
+    proptest! {
+        /// The split is a partition: parts are disjoint, contiguous, cover
+        /// [off, off+len), head/tail are strictly inside a group, full is
+        /// group-aligned.
+        #[test]
+        fn split_write_is_partition(n in 2u32..9, unit in 1u64..64,
+                                    off in 0u64..10_000, len in 1u64..10_000) {
+            let ly = l(n, unit);
+            let g = ly.group_width_bytes();
+            let s = ly.split_write(off, len);
+            let mut cursor = off;
+            if let Some((o, l2)) = s.head {
+                prop_assert_eq!(o, cursor);
+                prop_assert!(l2 < g || (o % g != 0));
+                prop_assert!(l2 > 0);
+                // head never crosses a group boundary
+                prop_assert_eq!(o / g, (o + l2 - 1) / g);
+                cursor += l2;
+            }
+            if let Some((o, l2)) = s.full {
+                prop_assert_eq!(o, cursor);
+                prop_assert_eq!(o % g, 0);
+                prop_assert_eq!(l2 % g, 0);
+                prop_assert!(l2 > 0);
+                cursor += l2;
+            }
+            if let Some((o, l2)) = s.tail {
+                prop_assert_eq!(o, cursor);
+                prop_assert_eq!(o % g, 0);
+                prop_assert!(l2 > 0 && l2 < g);
+                cursor += l2;
+            }
+            prop_assert_eq!(cursor, off + len);
+        }
+
+        /// Spans partition the range and each lies in one block.
+        #[test]
+        fn spans_partition(n in 1u32..9, unit in 1u64..64,
+                           off in 0u64..5_000, len in 1u64..5_000) {
+            let ly = l(n, unit);
+            let spans = ly.spans(off, len);
+            let mut cursor = off;
+            for s in &spans {
+                prop_assert_eq!(s.logical_off, cursor);
+                prop_assert!(s.len > 0 && s.len <= unit);
+                prop_assert_eq!(ly.block_of(s.logical_off), ly.block_of(s.end() - 1));
+                cursor = s.end();
+            }
+            prop_assert_eq!(cursor, off + len);
+        }
+
+        /// Data and parity local offsets never collide across the streams
+        /// they index (each (server,row) is used by exactly one block /
+        /// group).
+        #[test]
+        fn layout_slots_injective(n in 2u32..8, blocks in 1u64..300) {
+            let ly = l(n, 8);
+            use std::collections::HashSet;
+            let mut data_slots = HashSet::new();
+            for b in 0..blocks {
+                prop_assert!(data_slots.insert((ly.home_server(b), ly.data_local_off(b, 0))));
+            }
+            let mut parity_slots = HashSet::new();
+            for g in 0..blocks {
+                prop_assert!(parity_slots.insert((ly.parity_server(g), ly.parity_local_off(g, 0))));
+            }
+        }
+    }
+}

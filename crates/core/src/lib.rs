@@ -1,0 +1,45 @@
+//! # csar-core — the CSAR redundancy engines
+//!
+//! This crate implements the contribution of *"A High Performance
+//! Redundancy Scheme for Cluster File Systems"* (Pillai & Lauria,
+//! CLUSTER 2003): a PVFS-style striped cluster file system augmented
+//! with three redundancy schemes —
+//!
+//! * **RAID1** — striped block mirroring (mirror of a block lives in the
+//!   redundancy file of the *next* I/O server);
+//! * **RAID5** — rotating parity over groups of `n-1` data blocks, with
+//!   the server-side parity-lock protocol of §5.1 for consistent
+//!   concurrent partial-group updates;
+//! * **Hybrid** — the paper's contribution: every write is split into a
+//!   leading partial group, whole groups, and a trailing partial group;
+//!   whole groups take the RAID5 path while partial groups are mirrored
+//!   into append-only *overflow regions* (RAID1-style), never updating
+//!   in-place data so the parity stays reconstruction-valid. A later
+//!   full-group write invalidates the overflowed ranges, migrating the
+//!   data back to pure RAID5 form.
+//!
+//! The engines here are **pure state machines**: the client-side write
+//! and read planners ([`client`]) consume replies and emit the next batch
+//! of requests; the I/O server ([`server::IoServer`]) and metadata manager
+//! ([`manager::Manager`]) map a request to effects. Two drivers exist in
+//! sibling crates: `csar-cluster` runs them on real threads and channels
+//! (a functional file system), `csar-sim` runs them under a discrete-event
+//! performance model that regenerates the paper's figures. Keeping one
+//! implementation for both is what makes the evaluated code the shipped
+//! code.
+
+pub mod client;
+pub mod error;
+pub mod layout;
+pub mod locks;
+pub mod manager;
+pub mod overflow;
+pub mod proto;
+pub mod recovery;
+pub mod server;
+
+pub use error::CsarError;
+pub use layout::{Layout, Span, WriteSplit};
+pub use manager::{FileMeta, Manager};
+pub use proto::{ClientId, DiskCost, Request, Response, Scheme, ServerId};
+pub use server::{Effect, IoServer, ServerConfig, ServerImage};

@@ -1,0 +1,166 @@
+//! The §5.1 parity-lock table.
+//!
+//! Quoting the paper: *"When an I/O server receives a read request for a
+//! parity block, it knows that a partial stripe update is taking place.
+//! If there are no outstanding writes to the stripe, the server sets a
+//! lock on the parity block and then returns the data requested by the
+//! read. Subsequent read requests for the same parity block are put on a
+//! queue associated with the lock. When the I/O server receives a write
+//! request for a parity block, it writes the data to the parity file, and
+//! then checks if there are any blocked read requests waiting on the
+//! block. If there are no blocked requests, it releases the lock;
+//! otherwise it wakes up the first blocked request on the queue."*
+//!
+//! Deadlock avoidance is the *client's* job: a client with two partial
+//! stripes issues the parity read for the lower-numbered group first and
+//! waits for it before issuing the second (see
+//! [`crate::client::write`]). The table itself is a plain FIFO lock per
+//! `(file, group)`.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Key of one parity lock: `(file handle, parity group)`.
+pub type LockKey = (u64, u64);
+
+/// Outcome of a lock acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// The caller now holds the lock and may be served immediately.
+    Granted,
+    /// The lock is held; the caller was queued and must not be replied to
+    /// until a release wakes it.
+    Queued,
+}
+
+/// FIFO parity-lock table for one I/O server.
+///
+/// Generic over the queued ticket type `T` so the server can park whole
+/// deferred requests in the queue.
+///
+/// ```
+/// use csar_core::locks::{Acquire, ParityLockTable};
+/// let mut t: ParityLockTable<&str> = ParityLockTable::new();
+/// assert_eq!(t.acquire((1, 0), "a"), Acquire::Granted);
+/// assert_eq!(t.acquire((1, 0), "b"), Acquire::Queued);
+/// assert_eq!(t.release((1, 0)), Some("b")); // b now holds the lock
+/// assert_eq!(t.release((1, 0)), None);      // free
+/// ```
+#[derive(Debug)]
+pub struct ParityLockTable<T> {
+    held: HashMap<LockKey, VecDeque<T>>,
+    /// Total acquisitions that had to queue (contention metric).
+    pub contended: u64,
+    /// Total acquisitions.
+    pub acquisitions: u64,
+}
+
+impl<T> Default for ParityLockTable<T> {
+    fn default() -> Self {
+        Self { held: HashMap::new(), contended: 0, acquisitions: 0 }
+    }
+}
+
+impl<T> ParityLockTable<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempt to acquire the lock for `key`. On contention the `ticket`
+    /// is queued FIFO and `Acquire::Queued` is returned.
+    pub fn acquire(&mut self, key: LockKey, ticket: T) -> Acquire {
+        self.acquisitions += 1;
+        match self.held.get_mut(&key) {
+            None => {
+                self.held.insert(key, VecDeque::new());
+                Acquire::Granted
+            }
+            Some(queue) => {
+                self.contended += 1;
+                queue.push_back(ticket);
+                Acquire::Queued
+            }
+        }
+    }
+
+    /// Release the lock for `key`. If readers are queued, the first one
+    /// is woken and *keeps the lock held*; its ticket is returned.
+    ///
+    /// Releasing an unheld lock is a protocol violation by the client
+    /// (an unlock-write without a prior lock-read); it is tolerated and
+    /// returns `None` so a buggy or failed client cannot wedge a server.
+    pub fn release(&mut self, key: LockKey) -> Option<T> {
+        match self.held.get_mut(&key) {
+            None => None,
+            Some(queue) => match queue.pop_front() {
+                Some(next) => Some(next), // lock passes to `next`
+                None => {
+                    self.held.remove(&key);
+                    None
+                }
+            },
+        }
+    }
+
+    /// Is the lock for `key` currently held?
+    pub fn is_held(&self, key: LockKey) -> bool {
+        self.held.contains_key(&key)
+    }
+
+    /// Number of queued waiters for `key`.
+    pub fn queue_len(&self, key: LockKey) -> usize {
+        self.held.get(&key).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Number of currently-held locks.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_grant_and_release() {
+        let mut t: ParityLockTable<u32> = ParityLockTable::new();
+        assert_eq!(t.acquire((1, 0), 100), Acquire::Granted);
+        assert!(t.is_held((1, 0)));
+        assert_eq!(t.release((1, 0)), None);
+        assert!(!t.is_held((1, 0)));
+    }
+
+    #[test]
+    fn contended_fifo_handoff() {
+        let mut t: ParityLockTable<u32> = ParityLockTable::new();
+        assert_eq!(t.acquire((1, 0), 1), Acquire::Granted);
+        assert_eq!(t.acquire((1, 0), 2), Acquire::Queued);
+        assert_eq!(t.acquire((1, 0), 3), Acquire::Queued);
+        assert_eq!(t.queue_len((1, 0)), 2);
+        // First release wakes ticket 2; the lock stays held.
+        assert_eq!(t.release((1, 0)), Some(2));
+        assert!(t.is_held((1, 0)));
+        assert_eq!(t.release((1, 0)), Some(3));
+        assert_eq!(t.release((1, 0)), None);
+        assert!(!t.is_held((1, 0)));
+        assert_eq!(t.contended, 2);
+        assert_eq!(t.acquisitions, 3);
+    }
+
+    #[test]
+    fn locks_are_independent_per_key() {
+        let mut t: ParityLockTable<u32> = ParityLockTable::new();
+        assert_eq!(t.acquire((1, 0), 1), Acquire::Granted);
+        assert_eq!(t.acquire((1, 1), 2), Acquire::Granted);
+        assert_eq!(t.acquire((2, 0), 3), Acquire::Granted);
+        assert_eq!(t.held_count(), 3);
+        assert_eq!(t.contended, 0);
+    }
+
+    #[test]
+    fn release_of_unheld_lock_is_tolerated() {
+        let mut t: ParityLockTable<u32> = ParityLockTable::new();
+        assert_eq!(t.release((9, 9)), None);
+    }
+}

@@ -1,0 +1,267 @@
+//! Overflow-region tables for the Hybrid scheme.
+//!
+//! Under Hybrid, partial-group writes append their data to an overflow
+//! file on the block's home server (plus a mirror copy on the next
+//! server) instead of updating the data file in place — the old in-place
+//! blocks must survive because the group's parity still describes them.
+//! Each server keeps, per parallel file, a table mapping logical byte
+//! ranges to extents of the overflow file: the "table listing the
+//! overflow regions for each PVFS file" of §4. Reads overlay live table
+//! entries on the in-place data; a full-group write invalidates
+//! overlapped entries (the data has migrated back to RAID5 form). The
+//! overflow *file space* is never reclaimed by invalidation — that
+//! fragmentation is visible in the paper's Table 2 (FLASH with a 64 KB
+//! stripe unit needs more storage under Hybrid than RAID1) and is what
+//! the paper's proposed background reorganizer (§6.7) would recover (the
+//! `CompactOverflow` request, driven by the live cluster's cleaner).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One overflow-table entry: logical `[logical_off, logical_off+len)` is
+/// currently served from `[file_off, file_off+len)` of the overflow file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverflowEntry {
+    pub logical_off: u64,
+    pub len: u64,
+    pub file_off: u64,
+}
+
+/// The per-file overflow table of one server.
+///
+/// ```
+/// use csar_core::overflow::OverflowTable;
+/// let mut t = OverflowTable::new();
+/// t.insert(100, 50, 0);        // logical [100,150) lives at log offset 0
+/// t.insert(120, 10, 1000);     // a newer copy of [120,130)
+/// assert_eq!(t.lookup(100, 50).len(), 3);
+/// t.invalidate(0, 200);        // a full-group write supersedes it all
+/// assert!(t.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OverflowTable {
+    /// logical start → (len, file_off); non-overlapping.
+    map: BTreeMap<u64, (u64, u64)>,
+}
+
+impl OverflowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `[logical_off, logical_off+len)` now lives at
+    /// `file_off` in the overflow file. Overlapped older entries are
+    /// clipped or removed (the newest copy wins).
+    pub fn insert(&mut self, logical_off: u64, len: u64, file_off: u64) {
+        if len == 0 {
+            return;
+        }
+        self.invalidate(logical_off, len);
+        self.map.insert(logical_off, (len, file_off));
+    }
+
+    /// Drop coverage of `[logical_off, logical_off+len)` — a full-group
+    /// write has superseded those bytes. Boundary entries are split; the
+    /// overflow file space is NOT reclaimed.
+    pub fn invalidate(&mut self, logical_off: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let end = logical_off + len;
+        let overlapping: Vec<u64> = self
+            .map
+            .range(..end)
+            .rev()
+            .take_while(|(s, (l, _))| **s + l > logical_off)
+            .map(|(s, _)| *s)
+            .collect();
+        for s in overlapping {
+            let (l, f) = self.map.remove(&s).expect("entry vanished");
+            let e = s + l;
+            if s < logical_off {
+                self.map.insert(s, (logical_off - s, f));
+            }
+            if e > end {
+                self.map.insert(end, (e - end, f + (end - s)));
+            }
+        }
+    }
+
+    /// The live entries overlapping `[logical_off, logical_off+len)`,
+    /// clipped to the query range, in logical order.
+    pub fn lookup(&self, logical_off: u64, len: u64) -> Vec<OverflowEntry> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let end = logical_off + len;
+        let mut hits: Vec<OverflowEntry> = self
+            .map
+            .range(..end)
+            .rev()
+            .take_while(|(s, (l, _))| **s + l > logical_off)
+            .map(|(s, (l, f))| {
+                let from = (*s).max(logical_off);
+                let to = (s + l).min(end);
+                OverflowEntry { logical_off: from, len: to - from, file_off: f + (from - s) }
+            })
+            .collect();
+        hits.reverse();
+        hits
+    }
+
+    /// All live entries (rebuild support).
+    pub fn dump(&self) -> Vec<OverflowEntry> {
+        self.map
+            .iter()
+            .map(|(s, (l, f))| OverflowEntry { logical_off: *s, len: *l, file_off: *f })
+            .collect()
+    }
+
+    /// Bytes of logical file currently served from overflow.
+    pub fn live_bytes(&self) -> u64 {
+        self.map.values().map(|(l, _)| l).sum()
+    }
+
+    /// Number of live entries (fragmentation metric).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop everything (rebuild / cleaner support).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut t = OverflowTable::new();
+        t.insert(100, 50, 0);
+        assert_eq!(
+            t.lookup(100, 50),
+            vec![OverflowEntry { logical_off: 100, len: 50, file_off: 0 }]
+        );
+        // Clipped lookup adjusts file offset.
+        assert_eq!(
+            t.lookup(120, 10),
+            vec![OverflowEntry { logical_off: 120, len: 10, file_off: 20 }]
+        );
+        assert_eq!(t.lookup(0, 100), vec![]);
+        assert_eq!(t.live_bytes(), 50);
+    }
+
+    #[test]
+    fn newer_insert_wins_over_overlap() {
+        let mut t = OverflowTable::new();
+        t.insert(0, 100, 0);
+        t.insert(40, 20, 1000); // newer copy of [40,60)
+        let hits = t.lookup(0, 100);
+        assert_eq!(
+            hits,
+            vec![
+                OverflowEntry { logical_off: 0, len: 40, file_off: 0 },
+                OverflowEntry { logical_off: 40, len: 20, file_off: 1000 },
+                OverflowEntry { logical_off: 60, len: 40, file_off: 60 },
+            ]
+        );
+        assert_eq!(t.live_bytes(), 100);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn invalidate_punches_and_splits() {
+        let mut t = OverflowTable::new();
+        t.insert(0, 100, 500);
+        t.invalidate(30, 40);
+        let hits = t.dump();
+        assert_eq!(
+            hits,
+            vec![
+                OverflowEntry { logical_off: 0, len: 30, file_off: 500 },
+                OverflowEntry { logical_off: 70, len: 30, file_off: 570 },
+            ]
+        );
+        assert_eq!(t.live_bytes(), 60);
+    }
+
+    #[test]
+    fn invalidate_across_entries() {
+        let mut t = OverflowTable::new();
+        t.insert(0, 10, 0);
+        t.insert(20, 10, 10);
+        t.insert(40, 10, 20);
+        t.invalidate(5, 40); // clips first, removes second, clips third
+        assert_eq!(
+            t.dump(),
+            vec![
+                OverflowEntry { logical_off: 0, len: 5, file_off: 0 },
+                OverflowEntry { logical_off: 45, len: 5, file_off: 25 },
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_length_ops_are_noops() {
+        let mut t = OverflowTable::new();
+        t.insert(5, 0, 0);
+        t.invalidate(5, 0);
+        assert!(t.is_empty());
+        assert!(t.lookup(5, 0).is_empty());
+    }
+
+    /// Reference model: logical byte → file byte map.
+    #[derive(Default)]
+    struct Model(std::collections::BTreeMap<u64, u64>);
+    impl Model {
+        fn insert(&mut self, off: u64, len: u64, file_off: u64) {
+            for i in 0..len {
+                self.0.insert(off + i, file_off + i);
+            }
+        }
+        fn invalidate(&mut self, off: u64, len: u64) {
+            for i in 0..len {
+                self.0.remove(&(off + i));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn matches_bytewise_model(ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..200, 1u64..50), 1..40))
+        {
+            let mut t = OverflowTable::new();
+            let mut m = Model::default();
+            let mut cursor = 0u64;
+            for (is_insert, off, len) in ops {
+                if is_insert {
+                    t.insert(off, len, cursor);
+                    m.insert(off, len, cursor);
+                    cursor += len;
+                } else {
+                    t.invalidate(off, len);
+                    m.invalidate(off, len);
+                }
+            }
+            // Compare byte by byte over the whole domain.
+            for b in 0..260u64 {
+                let want = m.0.get(&b).copied();
+                let hits = t.lookup(b, 1);
+                let got = hits.first().map(|e| e.file_off);
+                prop_assert_eq!(got, want, "byte {}", b);
+            }
+            prop_assert_eq!(t.live_bytes() as usize, m.0.len());
+        }
+    }
+}

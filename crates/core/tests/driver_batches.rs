@@ -1,0 +1,424 @@
+//! White-box tests of the client drivers' *batch shapes*: which requests
+//! go to which servers, in which order, across phases. These pin the
+//! protocol details the paper specifies (§4, §5.1) independently of any
+//! server behaviour.
+
+use csar_core::client::{Action, OpDriver, ReadDriver, WriteDriver};
+use csar_core::manager::FileMeta;
+use csar_core::proto::{Request, Response, Scheme, ServerId};
+use csar_core::{CsarError, Layout};
+use csar_store::Payload;
+
+const UNIT: u64 = 16;
+
+fn meta(scheme: Scheme, servers: u32) -> FileMeta {
+    FileMeta { fh: 1, name: "t".into(), scheme, layout: Layout::new(servers, UNIT), size: 1 << 20 }
+}
+
+fn payload(len: usize) -> Payload {
+    Payload::from_vec(vec![7u8; len])
+}
+
+fn expect_send(action: Action) -> Vec<(ServerId, Request)> {
+    match action {
+        Action::Send(batch) => batch,
+        other => panic!("expected Send, got {other:?}"),
+    }
+}
+
+fn expect_compute(action: Action) -> u64 {
+    match action {
+        Action::Compute { bytes } => bytes,
+        other => panic!("expected Compute, got {other:?}"),
+    }
+}
+
+fn name(req: &Request) -> &'static str {
+    match req {
+        Request::WriteData { .. } => "WriteData",
+        Request::WriteMirror { .. } => "WriteMirror",
+        Request::WriteParity { .. } => "WriteParity",
+        Request::ParityRead { .. } => "ParityRead",
+        Request::ParityReadLock { .. } => "ParityReadLock",
+        Request::ParityWriteUnlock { .. } => "ParityWriteUnlock",
+        Request::ReadData { .. } => "ReadData",
+        Request::ReadMirror { .. } => "ReadMirror",
+        Request::ReadLatest { .. } => "ReadLatest",
+        Request::OverflowWrite { .. } => "OverflowWrite",
+        Request::OverflowFetch { .. } => "OverflowFetch",
+        _ => "other",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Write batch shapes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn raid0_is_one_data_write_per_server() {
+    // 4 servers, write covering blocks 0..4 → every server gets exactly
+    // one WriteData and nothing else.
+    let m = meta(Scheme::Raid0, 4);
+    let mut d = WriteDriver::new(&m, 0, payload(4 * UNIT as usize));
+    let batch = expect_send(d.begin());
+    assert_eq!(batch.len(), 4);
+    let mut servers: Vec<ServerId> = batch.iter().map(|(s, _)| *s).collect();
+    servers.sort_unstable();
+    assert_eq!(servers, vec![0, 1, 2, 3]);
+    assert!(batch.iter().all(|(_, r)| name(r) == "WriteData"));
+}
+
+#[test]
+fn raid1_adds_mirrors_on_next_server() {
+    let m = meta(Scheme::Raid1, 4);
+    // One block (block 2, home 2, mirror 3).
+    let mut d = WriteDriver::new(&m, 2 * UNIT, payload(UNIT as usize));
+    let batch = expect_send(d.begin());
+    assert_eq!(batch.len(), 2);
+    assert_eq!((batch[0].0, name(&batch[0].1)), (2, "WriteData"));
+    assert_eq!((batch[1].0, name(&batch[1].1)), (3, "WriteMirror"));
+}
+
+#[test]
+fn raid5_aligned_write_needs_no_reads_or_locks() {
+    // Exactly 2 whole groups: compute parity, then writes only.
+    let m = meta(Scheme::Raid5, 4);
+    let group = 3 * UNIT;
+    let mut d = WriteDriver::new(&m, 0, payload(2 * group as usize));
+    let bytes = expect_compute(d.begin());
+    assert_eq!(bytes, 2 * group, "parity fold reads each data byte once");
+    let batch = expect_send(d.on_compute_done());
+    assert!(batch.iter().all(|(_, r)| matches!(name(r), "WriteData" | "WriteParity")));
+    // Parity of groups 0 and 1 goes to their rotating owners.
+    let parity_servers: Vec<ServerId> = batch
+        .iter()
+        .filter(|(_, r)| name(r) == "WriteParity")
+        .map(|(s, _)| *s)
+        .collect();
+    assert_eq!(parity_servers.len(), 2);
+    assert!(parity_servers.contains(&m.layout.parity_server(0)));
+    assert!(parity_servers.contains(&m.layout.parity_server(1)));
+}
+
+#[test]
+fn raid5_two_partials_serialize_lock_reads_low_group_first() {
+    // §5.1: "the client serializes the reads for the parity blocks,
+    // waiting for the read for the lower numbered block to complete
+    // before issuing the read for the second block."
+    let m = meta(Scheme::Raid5, 4);
+    let group = 3 * UNIT;
+    // [group-8, group+8): tail of group 0 + head of group 1, no full part.
+    let mut d = WriteDriver::new(&m, group - 8, payload(16));
+    let batch_a = expect_send(d.begin());
+    let locks_a: Vec<u64> = batch_a
+        .iter()
+        .filter_map(|(_, r)| match r {
+            Request::ParityReadLock { group, .. } => Some(*group),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(locks_a, vec![0], "only the LOWER group's lock in batch A");
+    // Feed replies: one parity read + data reads.
+    let replies: Vec<Response> = batch_a
+        .iter()
+        .map(|(_, r)| match r {
+            Request::ParityReadLock { len, .. } => Response::Data { payload: payload(*len as usize) },
+            Request::ReadData { spans, .. } => {
+                let total: u64 = spans.iter().map(|s| s.len).sum();
+                Response::Data { payload: payload(total as usize) }
+            }
+            other => panic!("unexpected {other:?}"),
+        })
+        .collect();
+    let batch_b = expect_send(d.on_replies(replies));
+    let locks_b: Vec<u64> = batch_b
+        .iter()
+        .filter_map(|(_, r)| match r {
+            Request::ParityReadLock { group, .. } => Some(*group),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(locks_b, vec![1], "the HIGHER group's lock strictly after");
+    assert_eq!(batch_b.len(), 1, "batch B is only the second lock read");
+}
+
+#[test]
+fn raid5_nolock_issues_both_parity_reads_together() {
+    let m = meta(Scheme::Raid5NoLock, 4);
+    let group = 3 * UNIT;
+    let mut d = WriteDriver::new(&m, group - 8, payload(16));
+    let batch_a = expect_send(d.begin());
+    let reads: Vec<u64> = batch_a
+        .iter()
+        .filter_map(|(_, r)| match r {
+            Request::ParityRead { group, .. } => Some(*group),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(reads, vec![0, 1], "no serialization without locks");
+    assert!(batch_a.iter().all(|(_, r)| name(r) != "ParityReadLock"));
+}
+
+#[test]
+fn raid5_unlock_writes_go_out_after_the_data() {
+    // The paper's step 3 order ("write out the new data and new
+    // parity"): the unlock-carrying parity write is last in the batch.
+    let m = meta(Scheme::Raid5, 4);
+    let mut d = WriteDriver::new(&m, 4, payload(8)); // partial in group 0
+    let batch_a = expect_send(d.begin());
+    let replies: Vec<Response> = batch_a
+        .iter()
+        .map(|(_, r)| match r {
+            Request::ParityReadLock { len, .. } => Response::Data { payload: payload(*len as usize) },
+            Request::ReadData { spans, .. } => Response::Data {
+                payload: payload(spans.iter().map(|s| s.len).sum::<u64>() as usize),
+            },
+            other => panic!("unexpected {other:?}"),
+        })
+        .collect();
+    expect_compute(d.on_replies(replies));
+    let batch_c = expect_send(d.on_compute_done());
+    let last = name(&batch_c.last().unwrap().1);
+    assert_eq!(last, "ParityWriteUnlock");
+    let first = name(&batch_c.first().unwrap().1);
+    assert_eq!(first, "WriteData");
+}
+
+#[test]
+fn raid5_parity_rmw_touches_only_the_needed_range() {
+    // A 4-byte write at intra offset 4 reads/writes exactly 4 parity
+    // bytes at intra 4 — not the whole stripe unit.
+    let m = meta(Scheme::Raid5, 4);
+    let mut d = WriteDriver::new(&m, 4, payload(4));
+    let batch_a = expect_send(d.begin());
+    let (intra, len) = batch_a
+        .iter()
+        .find_map(|(_, r)| match r {
+            Request::ParityReadLock { intra, len, .. } => Some((*intra, *len)),
+            _ => None,
+        })
+        .expect("lock read present");
+    assert_eq!((intra, len), (4, 4));
+}
+
+#[test]
+fn hybrid_partials_go_to_overflow_with_mirror_and_no_reads() {
+    let m = meta(Scheme::Hybrid, 4);
+    // Partial inside group 0, block 1 (home 1, mirror 2).
+    let mut d = WriteDriver::new(&m, UNIT + 2, payload(6));
+    let bytes = expect_compute(d.begin());
+    assert_eq!(bytes, 0, "no parity work for a pure-partial hybrid write");
+    let batch = expect_send(d.on_compute_done());
+    assert_eq!(batch.len(), 2);
+    let kinds: Vec<(ServerId, bool)> = batch
+        .iter()
+        .map(|(s, r)| match r {
+            Request::OverflowWrite { mirror, .. } => (*s, *mirror),
+            other => panic!("unexpected {other:?}"),
+        })
+        .collect();
+    assert!(kinds.contains(&(1, false)), "primary on the home server");
+    assert!(kinds.contains(&(2, true)), "mirror on the next server");
+}
+
+#[test]
+fn hybrid_full_groups_invalidate_overflow() {
+    let m = meta(Scheme::Hybrid, 4);
+    let group = 3 * UNIT;
+    let mut d = WriteDriver::new(&m, 0, payload(group as usize));
+    expect_compute(d.begin());
+    let batch = expect_send(d.on_compute_done());
+    for (_, r) in &batch {
+        if let Request::WriteData { invalidate_primary, .. } = r {
+            assert!(*invalidate_primary, "full-group data writes invalidate overflow");
+        }
+    }
+    // Every mirror-table invalidation rides on some request.
+    let inval_count: usize = batch
+        .iter()
+        .map(|(_, r)| match r {
+            Request::WriteData { invalidate_mirror_spans, .. } => invalidate_mirror_spans.len(),
+            Request::WriteParity { invalidate_mirror_spans, .. } => invalidate_mirror_spans.len(),
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(inval_count, 3, "one mirror invalidation per block of the group");
+}
+
+#[test]
+fn npc_variant_transfers_blank_parity() {
+    let m = meta(Scheme::Raid5NoParityCompute, 4);
+    let group = 3 * UNIT;
+    let mut d = WriteDriver::new(&m, 0, payload(group as usize));
+    let bytes = expect_compute(d.begin());
+    assert_eq!(bytes, 0, "npc skips the XOR");
+    let batch = expect_send(d.on_compute_done());
+    let parity = batch
+        .iter()
+        .find_map(|(_, r)| match r {
+            Request::WriteParity { parts, .. } => Some(parts[0].payload.clone()),
+            _ => None,
+        })
+        .expect("parity write present");
+    assert_eq!(parity, Payload::from_vec(vec![0u8; UNIT as usize]), "blank, same size");
+}
+
+// ---------------------------------------------------------------------------
+// Degraded write planning
+// ---------------------------------------------------------------------------
+
+#[test]
+fn degraded_raid0_is_rejected_when_affected() {
+    let m = meta(Scheme::Raid0, 4);
+    let mut d = WriteDriver::new_degraded(&m, 0, payload(UNIT as usize), Some(0));
+    match d.begin() {
+        Action::Done(Err(CsarError::DataLoss(_))) => {}
+        other => panic!("expected DataLoss, got {other:?}"),
+    }
+    // Unaffected RAID0 writes still go through.
+    let mut d = WriteDriver::new_degraded(&m, UNIT, payload(UNIT as usize), Some(0));
+    let batch = expect_send(d.begin());
+    assert_eq!(batch.len(), 1);
+    assert_eq!(batch[0].0, 1);
+}
+
+#[test]
+fn degraded_single_server_raid1_is_rejected() {
+    // home == mirror on one server: a degraded write would silently
+    // store nothing — must be refused instead.
+    let m = FileMeta {
+        fh: 1,
+        name: "t".into(),
+        scheme: Scheme::Raid1,
+        layout: Layout::new(1, UNIT),
+        size: 0,
+    };
+    let mut d = WriteDriver::new_degraded(&m, 0, payload(8), Some(0));
+    match d.begin() {
+        Action::Done(Err(CsarError::DataLoss(_))) => {}
+        other => panic!("expected DataLoss, got {other:?}"),
+    }
+}
+
+#[test]
+fn degraded_raid1_writes_surviving_copy_only() {
+    let m = meta(Scheme::Raid1, 4);
+    // Block 2: home 2 (failed), mirror 3.
+    let mut d = WriteDriver::new_degraded(&m, 2 * UNIT, payload(UNIT as usize), Some(2));
+    let batch = expect_send(d.begin());
+    assert_eq!(batch.len(), 1);
+    assert_eq!((batch[0].0, name(&batch[0].1)), (3, "WriteMirror"));
+}
+
+#[test]
+fn degraded_hybrid_partial_writes_single_overflow_copy() {
+    let m = meta(Scheme::Hybrid, 4);
+    // Block 1: home 1, mirror 2. Fail the home → only the mirror copy.
+    let mut d = WriteDriver::new_degraded(&m, UNIT + 2, payload(6), Some(1));
+    expect_compute(d.begin());
+    let batch = expect_send(d.on_compute_done());
+    assert_eq!(batch.len(), 1);
+    match &batch[0] {
+        (2, Request::OverflowWrite { mirror: true, .. }) => {}
+        other => panic!("expected mirror-only overflow write, got {other:?}"),
+    }
+}
+
+#[test]
+fn degraded_raid5_dead_parity_writes_data_unprotected() {
+    let m = meta(Scheme::Raid5, 4);
+    // Partial in group 0 (parity server = 3). Fail server 3.
+    assert_eq!(m.layout.parity_server(0), 3);
+    let mut d = WriteDriver::new_degraded(&m, 4, payload(8), Some(3));
+    // No reads needed: straight to (empty) compute, then a plain write.
+    expect_compute(d.begin());
+    let batch = expect_send(d.on_compute_done());
+    assert_eq!(batch.len(), 1);
+    assert_eq!(name(&batch[0].1), "WriteData");
+    assert!(batch.iter().all(|(s, _)| *s != 3));
+}
+
+#[test]
+fn degraded_raid5_dead_data_home_is_rejected() {
+    let m = meta(Scheme::Raid5, 4);
+    // Partial on block 0 (home 0). Fail server 0.
+    let mut d = WriteDriver::new_degraded(&m, 4, payload(8), Some(0));
+    match d.begin() {
+        Action::Done(Err(CsarError::DataLoss(msg))) => {
+            assert!(msg.contains("Hybrid"), "the error should point at the Hybrid scheme");
+        }
+        other => panic!("expected DataLoss, got {other:?}"),
+    }
+}
+
+#[test]
+fn degraded_full_group_skips_failed_server_but_keeps_parity() {
+    let m = meta(Scheme::Raid5, 4);
+    let group = 3 * UNIT;
+    // Group 0: data on 0,1,2; parity on 3. Fail server 1.
+    let mut d = WriteDriver::new_degraded(&m, 0, payload(group as usize), Some(1));
+    expect_compute(d.begin());
+    let batch = expect_send(d.on_compute_done());
+    assert!(batch.iter().all(|(s, _)| *s != 1), "nothing to the failed server");
+    assert!(
+        batch.iter().any(|(s, r)| *s == 3 && name(r) == "WriteParity"),
+        "fresh parity implies the dead block's contents"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Read batch shapes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hybrid_reads_use_read_latest() {
+    let m = meta(Scheme::Hybrid, 4);
+    let mut d = ReadDriver::new(&m, 0, 4 * UNIT, None);
+    let batch = expect_send(d.begin());
+    assert!(batch.iter().all(|(_, r)| name(r) == "ReadLatest"));
+    let m5 = meta(Scheme::Raid5, 4);
+    let mut d5 = ReadDriver::new(&m5, 0, 4 * UNIT, None);
+    let batch5 = expect_send(d5.begin());
+    assert!(batch5.iter().all(|(_, r)| name(r) == "ReadData"));
+}
+
+#[test]
+fn degraded_raid5_read_reconstructs_per_lost_span() {
+    let m = meta(Scheme::Raid5, 4);
+    // Read block 0 (home 0, group 0: blocks 0,1,2, parity on 3); fail 0.
+    let mut d = ReadDriver::new(&m, 0, UNIT, Some(0));
+    let batch = expect_send(d.begin());
+    // Two peer reads + one parity read, none to the failed server.
+    assert!(batch.iter().all(|(s, _)| *s != 0));
+    let kinds: Vec<&str> = batch.iter().map(|(_, r)| name(r)).collect();
+    assert_eq!(kinds.iter().filter(|k| **k == "ReadData").count(), 2);
+    assert_eq!(kinds.iter().filter(|k| **k == "ParityRead").count(), 1);
+}
+
+#[test]
+fn degraded_hybrid_read_adds_overflow_mirror_fetch() {
+    let m = meta(Scheme::Hybrid, 4);
+    let mut d = ReadDriver::new(&m, 0, UNIT, Some(0));
+    let batch = expect_send(d.begin());
+    let kinds: Vec<(ServerId, &str)> = batch.iter().map(|(s, r)| (*s, name(r))).collect();
+    assert!(kinds.contains(&(1, "OverflowFetch")), "mirror overlay from the next server");
+}
+
+#[test]
+fn degraded_raid1_read_goes_to_mirror() {
+    let m = meta(Scheme::Raid1, 4);
+    let mut d = ReadDriver::new(&m, 0, UNIT, Some(0));
+    let batch = expect_send(d.begin());
+    assert_eq!(batch.len(), 1);
+    assert_eq!((batch[0].0, name(&batch[0].1)), (1, "ReadMirror"));
+}
+
+#[test]
+fn degraded_raid0_read_fails_fast() {
+    let m = meta(Scheme::Raid0, 4);
+    let mut d = ReadDriver::new(&m, 0, UNIT, Some(0));
+    match d.begin() {
+        Action::Done(Err(CsarError::DataLoss(_))) => {}
+        other => panic!("expected DataLoss, got {other:?}"),
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests over the write planner's request stream, for random
+//! geometry: every byte of every write must be routed exactly once to
+//! its correct primary location, redundancy must go to the right
+//! servers, and payload contents must survive slicing.
+
+use csar_core::client::{Action, OpDriver, WriteDriver};
+use csar_core::manager::FileMeta;
+use csar_core::proto::{Request, Response, Scheme};
+use csar_core::Layout;
+use csar_store::Payload;
+use proptest::prelude::*;
+
+/// Drive a write to completion against synthetic servers, collecting
+/// every request sent.
+fn collect_requests(meta: &FileMeta, off: u64, data: Vec<u8>) -> Vec<(u32, Request)> {
+    let mut driver = WriteDriver::new(meta, off, Payload::from_vec(data));
+    let mut all = Vec::new();
+    let mut action = driver.begin();
+    loop {
+        match action {
+            Action::Send(batch) => {
+                let replies: Vec<Response> = batch
+                    .iter()
+                    .map(|(_, r)| match r {
+                        Request::ParityRead { len, .. } | Request::ParityReadLock { len, .. } => {
+                            Response::Data { payload: Payload::zeros(*len as usize) }
+                        }
+                        Request::ReadData { spans, .. } => Response::Data {
+                            payload: Payload::zeros(
+                                spans.iter().map(|s| s.len).sum::<u64>() as usize
+                            ),
+                        },
+                        _ => Response::Done { bytes: 0 },
+                    })
+                    .collect();
+                all.extend(batch);
+                action = driver.on_replies(replies);
+            }
+            Action::Compute { .. } => action = driver.on_compute_done(),
+            Action::Done(r) => {
+                r.expect("write must plan successfully");
+                return all;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, .. ProptestConfig::default() })]
+
+    /// The union of primary data placements (in-place WriteData spans +
+    /// primary OverflowWrite spans) partitions the write exactly, every
+    /// span goes to the correct server, payload bytes match, and
+    /// redundancy routes correctly.
+    #[test]
+    fn write_plan_partitions_and_routes_correctly(
+        scheme in prop::sample::select(vec![
+            Scheme::Raid0, Scheme::Raid1, Scheme::Raid5, Scheme::Raid5NoLock, Scheme::Hybrid,
+        ]),
+        servers in 2u32..8,
+        unit in prop::sample::select(vec![4u64, 16, 64, 256]),
+        off in 0u64..5_000,
+        len in 1usize..4_000,
+    ) {
+        let layout = Layout::new(servers, unit);
+        let meta = FileMeta { fh: 1, name: "p".into(), scheme, layout, size: 1 << 20 };
+        let data: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+        let reqs = collect_requests(&meta, off, data.clone());
+
+        let mut primary: Vec<(u64, u64)> = Vec::new(); // (logical_off, len)
+        let mut mirror: Vec<(u64, u64)> = Vec::new();
+        for (srv, req) in &reqs {
+            match req {
+                Request::WriteData { spans, .. } => {
+                    for (span, payload) in spans {
+                        let block = layout.block_of(span.logical_off);
+                        prop_assert_eq!(layout.home_server(block), *srv, "data span on wrong server");
+                        prop_assert_eq!(payload.len(), span.len);
+                        // Payload contents match the source bytes.
+                        let want = &data[(span.logical_off - off) as usize
+                            ..(span.logical_off - off + span.len) as usize];
+                        prop_assert_eq!(payload.as_bytes().unwrap().as_ref(), want);
+                        primary.push((span.logical_off, span.len));
+                    }
+                }
+                Request::OverflowWrite { spans, mirror: m, .. } => {
+                    for (span, payload) in spans {
+                        let block = layout.block_of(span.logical_off);
+                        let owner = if *m {
+                            layout.mirror_server(block)
+                        } else {
+                            layout.home_server(block)
+                        };
+                        prop_assert_eq!(owner, *srv, "overflow span on wrong server");
+                        prop_assert_eq!(payload.len(), span.len);
+                        if *m {
+                            mirror.push((span.logical_off, span.len));
+                        } else {
+                            primary.push((span.logical_off, span.len));
+                        }
+                    }
+                }
+                Request::WriteMirror { spans, .. } => {
+                    for (span, payload) in spans {
+                        let block = layout.block_of(span.logical_off);
+                        prop_assert_eq!(layout.mirror_server(block), *srv);
+                        prop_assert_eq!(payload.len(), span.len);
+                        mirror.push((span.logical_off, span.len));
+                    }
+                }
+                Request::WriteParity { parts, .. } => {
+                    for part in parts {
+                        prop_assert_eq!(layout.parity_server(part.group), *srv, "parity on wrong server");
+                    }
+                }
+                Request::ParityWriteUnlock { group, .. } => {
+                    prop_assert_eq!(layout.parity_server(*group), *srv);
+                }
+                Request::ParityRead { group, .. } | Request::ParityReadLock { group, .. } => {
+                    prop_assert_eq!(layout.parity_server(*group), *srv);
+                }
+                Request::ReadData { spans, .. } => {
+                    for span in spans {
+                        prop_assert_eq!(
+                            layout.home_server(layout.block_of(span.logical_off)),
+                            *srv
+                        );
+                    }
+                }
+                other => prop_assert!(false, "unexpected request {:?}", other),
+            }
+        }
+
+        // Primary placements partition [off, off+len) exactly.
+        primary.sort_unstable();
+        let mut cursor = off;
+        for (o, l) in &primary {
+            prop_assert_eq!(*o, cursor, "gap or overlap in primary data placement");
+            cursor += l;
+        }
+        prop_assert_eq!(cursor, off + len as u64, "primary placement short");
+
+        // Mirrors: RAID1 mirrors everything; Hybrid mirrors exactly the
+        // overflowed (partial) bytes; parity-only schemes mirror nothing.
+        mirror.sort_unstable();
+        match scheme {
+            Scheme::Raid1 => {
+                prop_assert_eq!(&mirror, &primary, "RAID1 mirrors every byte");
+            }
+            Scheme::Hybrid => {
+                let overflowed: Vec<(u64, u64)> = reqs
+                    .iter()
+                    .flat_map(|(_, r)| match r {
+                        Request::OverflowWrite { spans, mirror: false, .. } => {
+                            spans.iter().map(|(s, _)| (s.logical_off, s.len)).collect()
+                        }
+                        _ => Vec::new(),
+                    })
+                    .collect();
+                let mut overflowed = overflowed;
+                overflowed.sort_unstable();
+                prop_assert_eq!(&mirror, &overflowed, "Hybrid mirrors exactly its overflow");
+            }
+            _ => prop_assert!(mirror.is_empty()),
+        }
+
+        // Parity-group coverage: every whole group inside the write gets
+        // a fresh parity write under parity schemes.
+        if scheme.uses_parity() {
+            let split = layout.split_write(off, len as u64);
+            if let Some((fo, flen)) = split.full {
+                let mut groups: Vec<u64> = reqs
+                    .iter()
+                    .flat_map(|(_, r)| match r {
+                        Request::WriteParity { parts, .. } => {
+                            parts.iter().map(|p| p.group).collect::<Vec<_>>()
+                        }
+                        _ => Vec::new(),
+                    })
+                    .collect();
+                groups.sort_unstable();
+                groups.dedup();
+                for g in layout.full_groups(fo, flen) {
+                    prop_assert!(groups.contains(&g), "whole group {} missing parity", g);
+                }
+            }
+        }
+    }
+}

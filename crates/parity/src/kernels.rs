@@ -1,0 +1,188 @@
+//! The XOR kernel ladder: byte-wise → word-wise → unrolled → rayon-parallel.
+//!
+//! `xor_into` is the public entry point; it picks a kernel based on length.
+//! The individual kernels stay public so the criterion bench can measure
+//! the Swift/RAID "word-at-a-time parity" effect directly.
+
+/// Threshold above which the rayon-parallel kernel pays for itself.
+///
+/// Below this the thread-pool dispatch overhead dominates; the value was
+/// chosen from the `parity_kernels` bench on a commodity x86-64 box.
+pub const PARALLEL_THRESHOLD: usize = 1 << 22; // 4 MiB
+
+/// XOR `src` into `dst` byte by byte.
+///
+/// This is the naive kernel Swift/RAID started with. Kept for benchmarking;
+/// prefer [`xor_into`].
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn xor_into_bytewise(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor buffers must have equal length");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= *s;
+    }
+}
+
+/// XOR `src` into `dst` one `u64` word at a time, with a byte-wise tail.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn xor_into_wordwise(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor buffers must have equal length");
+    let (d_head, d_body, d_tail) = unsafe { dst.align_to_mut::<u64>() };
+    // The head/tail split of `src` must mirror `dst`'s: XOR those ranges
+    // byte-wise and the middle by reading unaligned u64s from `src`.
+    let head = d_head.len();
+    let body = d_body.len() * 8;
+    for (d, s) in d_head.iter_mut().zip(&src[..head]) {
+        *d ^= *s;
+    }
+    let src_body = &src[head..head + body];
+    for (i, d) in d_body.iter_mut().enumerate() {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&src_body[i * 8..i * 8 + 8]);
+        *d ^= u64::from_ne_bytes(w);
+    }
+    for (d, s) in d_tail.iter_mut().zip(&src[head + body..]) {
+        *d ^= *s;
+    }
+}
+
+/// XOR `src` into `dst` in 64-byte chunks (eight `u64`s per iteration).
+///
+/// The explicit chunking lets LLVM vectorise the inner loop; on most
+/// targets this compiles to SIMD loads/xors/stores.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn xor_into_unrolled(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor buffers must have equal length");
+    const CHUNK: usize = 64;
+    let mut d_it = dst.chunks_exact_mut(CHUNK);
+    let mut s_it = src.chunks_exact(CHUNK);
+    for (d, s) in (&mut d_it).zip(&mut s_it) {
+        for i in 0..CHUNK {
+            d[i] ^= s[i];
+        }
+    }
+    for (d, s) in d_it.into_remainder().iter_mut().zip(s_it.remainder()) {
+        *d ^= *s;
+    }
+}
+
+/// XOR `src` into `dst` splitting the buffers across the rayon pool.
+///
+/// Only worthwhile for multi-megabyte buffers; see [`PARALLEL_THRESHOLD`].
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn xor_into_parallel(dst: &mut [u8], src: &[u8]) {
+    use rayon::prelude::*;
+    assert_eq!(dst.len(), src.len(), "xor buffers must have equal length");
+    const PAR_CHUNK: usize = 1 << 20;
+    dst.par_chunks_mut(PAR_CHUNK)
+        .zip(src.par_chunks(PAR_CHUNK))
+        .for_each(|(d, s)| xor_into_unrolled(d, s));
+}
+
+/// XOR `src` into `dst`, selecting the fastest kernel for the length.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    if dst.len() >= PARALLEL_THRESHOLD {
+        xor_into_parallel(dst, src);
+    } else {
+        xor_into_unrolled(dst, src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference_xor(dst: &[u8], src: &[u8]) -> Vec<u8> {
+        dst.iter().zip(src).map(|(a, b)| a ^ b).collect()
+    }
+
+    #[test]
+    fn all_kernels_agree_on_small_input() {
+        let src: Vec<u8> = (0..200).map(|i| (i * 13) as u8).collect();
+        let base: Vec<u8> = (0..200).map(|i| (i * 7 + 3) as u8).collect();
+        let want = reference_xor(&base, &src);
+        for kernel in [
+            xor_into_bytewise as fn(&mut [u8], &[u8]),
+            xor_into_wordwise,
+            xor_into_unrolled,
+            xor_into_parallel,
+            xor_into,
+        ] {
+            let mut dst = base.clone();
+            kernel(&mut dst, &src);
+            assert_eq!(dst, want);
+        }
+    }
+
+    #[test]
+    fn empty_buffers_are_fine() {
+        let mut dst: Vec<u8> = vec![];
+        xor_into(&mut dst, &[]);
+        xor_into_wordwise(&mut dst, &[]);
+        assert!(dst.is_empty());
+    }
+
+    #[test]
+    fn wordwise_handles_every_alignment_offset() {
+        // Slice at every offset 0..8 to exercise the align_to head path.
+        let backing: Vec<u8> = (0..128).map(|i| i as u8).collect();
+        let src: Vec<u8> = (0..128).map(|i| (255 - i) as u8).collect();
+        for off in 0..8 {
+            let mut dst = backing.clone();
+            let want = reference_xor(&dst[off..], &src[off..]);
+            xor_into_wordwise(&mut dst[off..], &src[off..]);
+            assert_eq!(&dst[off..], &want[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let mut dst = [0u8; 3];
+        xor_into(&mut dst, &[0u8; 4]);
+    }
+
+    proptest! {
+        #[test]
+        fn kernels_match_reference(dst in proptest::collection::vec(any::<u8>(), 0..4096),
+                                   seed in any::<u64>()) {
+            let src: Vec<u8> = dst.iter().enumerate()
+                .map(|(i, _)| (seed.wrapping_mul(i as u64 + 1) >> 32) as u8)
+                .collect();
+            let want = reference_xor(&dst, &src);
+            for kernel in [
+                xor_into_bytewise as fn(&mut [u8], &[u8]),
+                xor_into_wordwise,
+                xor_into_unrolled,
+            ] {
+                let mut d = dst.clone();
+                kernel(&mut d, &src);
+                prop_assert_eq!(&d, &want);
+            }
+        }
+
+        #[test]
+        fn xor_is_involutive(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let src: Vec<u8> = data.iter().map(|b| b.rotate_left(3)).collect();
+            let mut d = data.clone();
+            xor_into(&mut d, &src);
+            xor_into(&mut d, &src);
+            prop_assert_eq!(d, data);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Reconstruction of a lost parity-group member.
+
+use crate::kernels::xor_into;
+
+/// Reconstruct a lost block from the surviving members of its parity group.
+///
+/// `survivors` must contain the parity block and every data block *except*
+/// the lost one (order is irrelevant — XOR is commutative). Returns the
+/// reconstructed block.
+///
+/// Degenerate case: a group with a single data block has parity equal to
+/// the block, so `survivors` may be just the parity.
+///
+/// # Panics
+/// Panics if `survivors` is empty or the blocks have unequal lengths.
+pub fn reconstruct(survivors: &[&[u8]]) -> Vec<u8> {
+    assert!(!survivors.is_empty(), "reconstruction needs at least the parity block");
+    let mut out = survivors[0].to_vec();
+    for s in &survivors[1..] {
+        assert_eq!(s.len(), out.len(), "survivor blocks must have equal length");
+        xor_into(&mut out, s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parity_of;
+    use proptest::prelude::*;
+
+    #[test]
+    fn recovers_each_member_of_a_group() {
+        let blocks: Vec<Vec<u8>> = (1u8..=4)
+            .map(|k| (0..64).map(|i| (i as u8).wrapping_mul(k)).collect())
+            .collect();
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let parity = parity_of(&refs);
+
+        for lost in 0..blocks.len() {
+            let mut survivors: Vec<&[u8]> = vec![&parity];
+            for (i, b) in blocks.iter().enumerate() {
+                if i != lost {
+                    survivors.push(b);
+                }
+            }
+            assert_eq!(reconstruct(&survivors), blocks[lost], "failed to recover block {lost}");
+        }
+    }
+
+    #[test]
+    fn single_member_group_parity_is_the_block() {
+        let d = vec![9u8; 16];
+        let parity = parity_of(&[&d]);
+        assert_eq!(reconstruct(&[&parity]), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the parity")]
+    fn empty_survivors_panics() {
+        reconstruct(&[]);
+    }
+
+    proptest! {
+        #[test]
+        fn reconstruction_roundtrip(
+            group in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 32..=32), 1..6),
+            lost_idx in any::<prop::sample::Index>(),
+        ) {
+            let refs: Vec<&[u8]> = group.iter().map(|b| b.as_slice()).collect();
+            let parity = parity_of(&refs);
+            let lost = lost_idx.index(group.len());
+            let mut survivors: Vec<&[u8]> = vec![&parity];
+            for (i, b) in group.iter().enumerate() {
+                if i != lost {
+                    survivors.push(b);
+                }
+            }
+            prop_assert_eq!(reconstruct(&survivors), group[lost].clone());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Hardware profiles calibrated to the paper's two testbeds.
+//!
+//! Absolute numbers for 2003 hardware are approximations assembled from
+//! the paper's hardware descriptions and era-typical measurements; the
+//! harness reports *shapes* (ordering, ratios, crossovers), which are
+//! robust to moderate miscalibration. Every knob is public so the bench
+//! binaries can run sensitivity sweeps.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-node hardware parameters of a simulated cluster.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HwProfile {
+    /// NIC link bandwidth, bytes/s (each direction modelled separately).
+    pub nic_bw: f64,
+    /// One-way fabric latency per message, ns.
+    pub nic_latency_ns: u64,
+    /// Client CPU cost per request sent (syscall + library), ns.
+    pub client_per_msg_ns: u64,
+    /// Server CPU cost per request handled, ns.
+    pub server_per_msg_ns: u64,
+    /// Server per-byte protocol processing rate (TCP/copy path), bytes/s.
+    /// This, not the NIC, capped a 2003 server's ingest.
+    pub server_copy_bw: f64,
+    /// Ingest buffering (socket buffers + the iod's eager non-blocking
+    /// reads): a request is acknowledged once its data is buffered, as
+    /// long as the unprocessed backlog fits here. Lets ingest processing
+    /// overlap the wire across consecutive requests, as real PVFS does.
+    pub server_sockbuf_bytes: u64,
+    /// Client per-byte protocol processing rate, bytes/s.
+    pub client_copy_bw: f64,
+    /// Client XOR bandwidth for parity computation, bytes/s.
+    pub xor_bw: f64,
+    /// Disk sequential write (destage) bandwidth, bytes/s.
+    pub disk_write_bw: f64,
+    /// Disk read bandwidth, bytes/s.
+    pub disk_read_bw: f64,
+    /// Disk positioning time per read op, ns.
+    pub disk_positioning_ns: u64,
+    /// Server page-cache capacity, bytes.
+    pub server_cache_bytes: u64,
+    /// Dirty-page limit: writers throttle to disk speed once unwritten
+    /// dirty data exceeds this (Linux's dirty ratio — a fraction of the
+    /// page cache, not all of it).
+    pub dirty_limit_bytes: u64,
+    /// Local file-system block size, bytes.
+    pub fs_block: u64,
+    /// §5.2 write buffering at the servers.
+    pub write_buffering: bool,
+    /// Pad partial FS-block writes (the paper's diagnostic variant).
+    pub pad_partial_blocks: bool,
+}
+
+impl HwProfile {
+    /// Testbed 1: 8 nodes, dual 1 GHz P-III, 1 GB RAM, Myrinet 1.3 Gb/s
+    /// (TCP), two IBM 75GXP disks on a 3ware RAID0.
+    pub fn myrinet_pentium3() -> Self {
+        Self {
+            nic_bw: 160e6,
+            nic_latency_ns: 60_000,
+            client_per_msg_ns: 50_000,
+            server_per_msg_ns: 80_000,
+            server_copy_bw: 28e6,
+            server_sockbuf_bytes: 2 << 20,
+            client_copy_bw: 220e6,
+            xor_bw: 1_300e6,
+            disk_write_bw: 60e6,
+            disk_read_bw: 55e6,
+            disk_positioning_ns: 7_000_000,
+            server_cache_bytes: 768 << 20,
+            dirty_limit_bytes: 384 << 20,
+            fs_block: 4096,
+            write_buffering: true,
+            pad_partial_blocks: false,
+        }
+    }
+
+    /// Testbed 2: OSC cluster — dual 900 MHz Itanium-II, 4 GB RAM,
+    /// Myrinet, one 80 GB SCSI disk. Used for every experiment needing
+    /// more than 8 nodes (BTIO, large ROMIO runs).
+    pub fn osc_itanium() -> Self {
+        Self {
+            nic_bw: 200e6,
+            nic_latency_ns: 50_000,
+            client_per_msg_ns: 40_000,
+            server_per_msg_ns: 60_000,
+            server_copy_bw: 55e6,
+            server_sockbuf_bytes: 2 << 20,
+            client_copy_bw: 350e6,
+            xor_bw: 1_600e6,
+            disk_write_bw: 30e6,
+            disk_read_bw: 40e6,
+            disk_positioning_ns: 2_500_000,
+            server_cache_bytes: 3072 << 20,
+            dirty_limit_bytes: 768 << 20,
+            fs_block: 4096,
+            write_buffering: true,
+            pad_partial_blocks: false,
+        }
+    }
+
+    /// A tiny, fast profile for unit tests: round numbers, small cache.
+    pub fn test_profile() -> Self {
+        Self {
+            nic_bw: 100e6,
+            nic_latency_ns: 10_000,
+            client_per_msg_ns: 10_000,
+            server_per_msg_ns: 10_000,
+            server_copy_bw: 25e6,
+            server_sockbuf_bytes: 2 << 20,
+            client_copy_bw: 200e6,
+            xor_bw: 1_000e6,
+            disk_write_bw: 50e6,
+            disk_read_bw: 50e6,
+            disk_positioning_ns: 5_000_000,
+            server_cache_bytes: 64 << 20,
+            dirty_limit_bytes: 32 << 20,
+            fs_block: 4096,
+            write_buffering: true,
+            pad_partial_blocks: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_sane() {
+        for p in [HwProfile::myrinet_pentium3(), HwProfile::osc_itanium(), HwProfile::test_profile()] {
+            assert!(p.nic_bw > 0.0);
+            assert!(p.server_copy_bw < p.nic_bw, "server CPU should be the ingest bottleneck");
+            assert!(p.xor_bw > p.nic_bw, "XOR should be faster than the wire");
+            assert!(p.server_cache_bytes > p.fs_block);
+            assert!(p.dirty_limit_bytes <= p.server_cache_bytes);
+        }
+    }
+}

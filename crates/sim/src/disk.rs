@@ -1,0 +1,172 @@
+//! The per-server disk model: write-back page cache + synchronous reads.
+//!
+//! **Writes** dirty the page cache and complete immediately — until the
+//! dirty backlog exceeds the cache capacity, at which point the writer
+//! must wait for write-back to drain (Linux's dirty throttling). With a
+//! destage rate `bw` and capacity `C`, a write finishing its copy at
+//! `now` with backlog `B` (including itself) completes at
+//! `max(now, t_drain)` where `t_drain` is when the backlog first fits in
+//! `C` again. This closed form is what collapses RAID1 for BTIO Class C
+//! (Fig. 7a): twice the data overruns the server caches and writes turn
+//! disk-bound.
+//!
+//! **Reads** are synchronous: positioning time per operation plus
+//! transfer, serialized against other reads. Real kernels prioritise
+//! reads over lazy write-back, so reads do not queue behind the whole
+//! destage backlog — but on one spindle a read issued *while write-back
+//! is active* pays for the head moving away from the destage stream and
+//! back, and shares the platter: such reads cost
+//! [`WRITEBACK_CONTENTION`]× (the Figs. 6b/7b mechanism).
+
+use crate::transfer_ns;
+
+/// Service-time multiplier for reads issued while write-back is active.
+pub const WRITEBACK_CONTENTION: u64 = 2;
+
+/// Dirty backlog above which reads are considered contended.
+const CONTENTION_THRESHOLD: u64 = 8 << 20;
+
+/// One I/O server's disk (plus its slice of the OS page cache).
+#[derive(Debug, Clone, Copy)]
+pub struct DiskModel {
+    /// Sequential write (destage) bandwidth, bytes/s.
+    pub write_bw: f64,
+    /// Read bandwidth, bytes/s.
+    pub read_bw: f64,
+    /// Positioning (seek + rotation) time per read op, ns.
+    pub positioning_ns: u64,
+    /// Page-cache capacity available for dirty data, bytes.
+    pub cache_bytes: u64,
+    /// Destage horizon: when the last dirty byte hits the platter.
+    write_busy: u64,
+    /// Read-queue horizon.
+    read_busy: u64,
+}
+
+impl DiskModel {
+    /// A new idle disk.
+    pub fn new(write_bw: f64, read_bw: f64, positioning_ns: u64, cache_bytes: u64) -> Self {
+        Self { write_bw, read_bw, positioning_ns, cache_bytes, write_busy: 0, read_busy: 0 }
+    }
+
+    /// Buffer `bytes` of writes at `now`; returns when the *writer* may
+    /// proceed (immediately while the cache absorbs, throttled once the
+    /// dirty backlog exceeds the cache).
+    pub fn write(&mut self, now: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return now;
+        }
+        // Destage continues in the background from max(now, write_busy).
+        self.write_busy = self.write_busy.max(now) + transfer_ns(bytes, self.write_bw);
+        // The writer blocks until the backlog (bytes not yet destaged)
+        // fits in the cache: backlog(t) = (write_busy - t) * bw.
+        let cache_drain_ns = transfer_ns(self.cache_bytes, self.write_bw);
+        now.max(self.write_busy.saturating_sub(cache_drain_ns))
+    }
+
+    /// Perform `ops` synchronous reads totalling `bytes` at `now`;
+    /// returns the completion time. Reads issued while write-back is
+    /// draining a significant backlog pay the spindle-contention
+    /// multiplier.
+    pub fn read(&mut self, now: u64, bytes: u64, ops: u64) -> u64 {
+        if bytes == 0 && ops == 0 {
+            return now;
+        }
+        let mut dur = ops * self.positioning_ns + transfer_ns(bytes, self.read_bw);
+        if self.dirty_backlog(now) > CONTENTION_THRESHOLD {
+            dur *= WRITEBACK_CONTENTION;
+        }
+        let start = self.read_busy.max(now);
+        self.read_busy = start + dur;
+        self.read_busy
+    }
+
+    /// When all buffered dirty data will have reached the platter.
+    pub fn flush_horizon(&self) -> u64 {
+        self.write_busy
+    }
+
+    /// Instantly settle all backlog (the harness's "file was flushed and
+    /// evicted" state between an initial write and an overwrite run).
+    pub fn settle(&mut self, now: u64) {
+        self.write_busy = self.write_busy.min(now);
+        self.read_busy = self.read_busy.min(now);
+    }
+
+    /// Dirty backlog in bytes at time `now`.
+    pub fn dirty_backlog(&self, now: u64) -> u64 {
+        let ns = self.write_busy.saturating_sub(now);
+        (ns as f64 / 1e9 * self.write_bw) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SEC;
+
+    fn disk(cache_mb: u64) -> DiskModel {
+        // 50 MB/s write, 50 MB/s read, 5 ms positioning.
+        DiskModel::new(50e6, 50e6, 5_000_000, cache_mb * 1_000_000)
+    }
+
+
+    #[test]
+    fn small_writes_complete_instantly_in_cache() {
+        let mut d = disk(100);
+        // 10 MB into a 100 MB cache: no throttle.
+        assert_eq!(d.write(1000, 10_000_000), 1000);
+        assert!(d.flush_horizon() > 1000, "destage proceeds in background");
+    }
+
+    #[test]
+    fn writes_beyond_cache_throttle_to_disk_rate() {
+        let mut d = disk(100);
+        // 300 MB at t=0 into a 100 MB cache @50 MB/s: the last byte lands
+        // at 6 s; the writer resumes when backlog fits: 6s - 2s = 4s.
+        let done = d.write(0, 300_000_000);
+        assert_eq!(d.flush_horizon(), 6 * SEC);
+        assert_eq!(done, 4 * SEC);
+    }
+
+    #[test]
+    fn sustained_overload_converges_to_disk_bandwidth() {
+        let mut d = disk(10);
+        // Stream 100 × 10 MB with no think time: steady state = 50 MB/s.
+        let mut t = 0;
+        for _ in 0..100 {
+            t = d.write(t, 10_000_000);
+        }
+        let total = 1_000_000_000u64; // 1 GB
+        let secs = t as f64 / SEC as f64;
+        let rate = total as f64 / secs;
+        assert!((rate - 50e6).abs() / 50e6 < 0.05, "rate {rate} ≉ 50 MB/s");
+    }
+
+    #[test]
+    fn reads_pay_positioning_and_transfer() {
+        let mut d = disk(100);
+        // 2 ops, 10 MB: 2*5ms + 0.2s = 0.21s.
+        let done = d.read(0, 10_000_000, 2);
+        assert_eq!(done, 10_000_000 + SEC / 5);
+        // A second read queues behind.
+        let done2 = d.read(0, 0, 1);
+        assert_eq!(done2, done + 5_000_000);
+    }
+
+    #[test]
+    fn zero_cost_accesses_are_free() {
+        let mut d = disk(100);
+        assert_eq!(d.write(42, 0), 42);
+        assert_eq!(d.read(42, 0, 0), 42);
+    }
+
+    #[test]
+    fn dirty_backlog_reports_bytes() {
+        let mut d = disk(100);
+        d.write(0, 50_000_000);
+        let b = d.dirty_backlog(0);
+        assert!((b as i64 - 50_000_000).abs() < 1000, "backlog {b}");
+        assert_eq!(d.dirty_backlog(10 * SEC), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! # csar-sim — discrete-event performance model of a CSAR cluster
+//!
+//! The paper evaluates CSAR on two real clusters (8× dual-P-III nodes
+//! with Myrinet and 3ware-RAID0 IDE disks; 74× dual-Itanium-II OSC nodes
+//! with SCSI disks). This crate substitutes a deterministic
+//! discrete-event simulation for those machines: the *same*
+//! `csar-core` client/server state machines run unmodified, but every
+//! message, XOR and disk access is charged to modelled resources —
+//!
+//! * per-node NIC links (FIFO bandwidth serialization + latency),
+//! * per-node CPU (per-request overhead + per-byte protocol processing,
+//!   the resource that caps a 2003-era server's TCP ingest),
+//! * per-server disk (positioning + transfer, with an OS page cache:
+//!   write-back absorbs writes until the dirty backlog exceeds the cache,
+//!   reads hit or miss via the server's `CacheModel`),
+//! * client XOR bandwidth (the ~8 % parity-computation cost of Fig. 4a).
+//!
+//! Workloads are barrier-delimited phases of per-client operation lists
+//! ([`Op`]); [`SimCluster::run_phase`] returns makespan and aggregate
+//! bandwidths. Payloads are [`csar_store::Payload::Phantom`] so paper-scale runs
+//! (13 GB of writes for BTIO Class C under RAID1) need no memory, while
+//! offset/size/cache/storage accounting stays exact — a property pinned
+//! by the `phantom_payload_accounting_matches_real` test in
+//! `csar-cluster`.
+
+mod cluster;
+mod config;
+mod disk;
+mod engine;
+mod resource;
+
+pub use cluster::{Op, Phase, RunStats, SimCluster};
+pub use config::HwProfile;
+pub use disk::DiskModel;
+pub use resource::FifoResource;
+
+/// Nanoseconds per second, the simulator's clock base.
+pub const SEC: u64 = 1_000_000_000;
+
+/// Convert a byte count and a bytes/second rate into nanoseconds.
+#[inline]
+pub fn transfer_ns(bytes: u64, bytes_per_sec: f64) -> u64 {
+    if bytes == 0 || bytes_per_sec <= 0.0 {
+        return 0;
+    }
+    (bytes as f64 / bytes_per_sec * SEC as f64).round() as u64
+}
+
+/// Convert a nanosecond duration and byte count into MB/s.
+#[inline]
+pub fn mb_per_sec(bytes: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    bytes as f64 / (1024.0 * 1024.0) / (ns as f64 / SEC as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_ns_basics() {
+        assert_eq!(transfer_ns(0, 1e6), 0);
+        assert_eq!(transfer_ns(1_000_000, 1e6), SEC);
+        assert_eq!(transfer_ns(500_000, 1e6), SEC / 2);
+    }
+
+    #[test]
+    fn mb_per_sec_basics() {
+        assert_eq!(mb_per_sec(1024 * 1024, SEC), 1.0);
+        assert_eq!(mb_per_sec(100, 0), 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Analytic cross-checks and property tests of the simulator's models:
+//! closed-form expectations the event-driven machinery must land on.
+
+use csar_core::proto::Scheme;
+use csar_sim::{transfer_ns, DiskModel, HwProfile, Op, SimCluster, SEC};
+use proptest::prelude::*;
+
+#[test]
+fn single_server_write_rate_approaches_copy_bandwidth() {
+    // One server, large sequential writes absorbed by the cache: the
+    // sustained rate must approach the per-connection copy bandwidth
+    // (the modelled 2003 TCP ingest limit).
+    let p = HwProfile::test_profile();
+    let mut sim = SimCluster::new(p, 1, 1);
+    let f = sim.create_file("f", Scheme::Raid0, 64 * 1024);
+    let total = 64u64 << 20;
+    let ops: Vec<Op> = (0..total / (4 << 20))
+        .map(|i| Op::Write { file: f, off: i * (4 << 20), len: 4 << 20 })
+        .collect();
+    let stats = sim.run_phase(vec![(0, ops)]);
+    let rate = stats.bytes_written as f64 / (stats.duration_ns as f64 / SEC as f64);
+    let expect = p.server_copy_bw;
+    assert!(
+        (rate - expect).abs() / expect < 0.15,
+        "sustained single-server rate {rate:.0} should approach copy bw {expect:.0}"
+    );
+}
+
+#[test]
+fn sustained_overload_write_rate_approaches_disk_bandwidth() {
+    // Writes far beyond the dirty limit must converge on the destage
+    // rate — make the copy path fast so the disk is the bottleneck.
+    let mut p = HwProfile::test_profile();
+    p.dirty_limit_bytes = 8 << 20;
+    p.server_copy_bw = 400e6;
+    let mut sim = SimCluster::new(p, 1, 1);
+    let f = sim.create_file("f", Scheme::Raid0, 64 * 1024);
+    let total = 256u64 << 20;
+    let ops: Vec<Op> = (0..total / (4 << 20))
+        .map(|i| Op::Write { file: f, off: i * (4 << 20), len: 4 << 20 })
+        .collect();
+    let stats = sim.run_phase(vec![(0, ops)]);
+    let rate = stats.bytes_written as f64 / (stats.duration_ns as f64 / SEC as f64);
+    assert!(
+        (rate - p.disk_write_bw).abs() / p.disk_write_bw < 0.1,
+        "overloaded rate {rate:.0} should approach disk bw {:.0}",
+        p.disk_write_bw
+    );
+}
+
+#[test]
+fn raid1_steady_state_is_half_of_raid0_when_server_bound() {
+    // Server-bound regime (client link far from saturated): RAID1 moves
+    // 2x the bytes, so useful bandwidth is half.
+    let p = HwProfile::test_profile();
+    let mut b = Vec::new();
+    for scheme in [Scheme::Raid0, Scheme::Raid1] {
+        let mut sim = SimCluster::new(p, 2, 1);
+        let f = sim.create_file("f", scheme, 64 * 1024);
+        let ops: Vec<Op> = (0..32u64).map(|i| Op::Write { file: f, off: i << 21, len: 1 << 21 }).collect();
+        b.push(sim.run_phase(vec![(0, ops)]).write_mbps());
+    }
+    let ratio = b[1] / b[0];
+    assert!((ratio - 0.5).abs() < 0.07, "RAID1/RAID0 = {ratio:.2} (want ≈0.5)");
+}
+
+proptest! {
+    /// FIFO resources conserve work: serving N items of fixed duration
+    /// back to back always ends at exactly N·d past the first start.
+    #[test]
+    fn fifo_resource_conserves_work(durations in proptest::collection::vec(1u64..10_000, 1..50)) {
+        let mut r = csar_sim::FifoResource::new();
+        let mut sum = 0;
+        let mut last = 0;
+        for d in &durations {
+            last = r.acquire(0, *d);
+            sum += d;
+        }
+        prop_assert_eq!(last, sum);
+    }
+
+    /// Disk writes never let a writer finish before `now`, and the flush
+    /// horizon is monotone.
+    #[test]
+    fn disk_write_monotonicity(writes in proptest::collection::vec((0u64..SEC, 1u64..50_000_000), 1..40)) {
+        let mut d = DiskModel::new(50e6, 50e6, 1_000_000, 16 << 20);
+        let mut horizon = 0;
+        let mut clock = 0;
+        for (dt, bytes) in writes {
+            clock += dt;
+            let done = d.write(clock, bytes);
+            prop_assert!(done >= clock);
+            prop_assert!(d.flush_horizon() >= horizon, "flush horizon went backwards");
+            prop_assert!(d.flush_horizon() >= done.saturating_sub(transfer_ns(16 << 20, 50e6)));
+            horizon = d.flush_horizon();
+        }
+    }
+
+    /// transfer_ns is additive up to rounding: splitting a transfer never
+    /// changes the total by more than the rounding slop.
+    #[test]
+    fn transfer_ns_is_nearly_additive(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let whole = transfer_ns(a + b, 100e6);
+        let split = transfer_ns(a, 100e6) + transfer_ns(b, 100e6);
+        prop_assert!((whole as i64 - split as i64).abs() <= 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Storage-usage accounting (paper Table 2).
+
+use crate::local::StreamKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bytes stored per stream kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamUsage {
+    pub data: u64,
+    pub mirror: u64,
+    pub parity: u64,
+    pub overflow: u64,
+    pub overflow_mirror: u64,
+}
+
+impl StreamUsage {
+    /// Add `bytes` to the bucket for `stream`.
+    pub fn add(&mut self, stream: StreamKind, bytes: u64) {
+        *self.bucket(stream) += bytes;
+    }
+
+    /// Read the bucket for `stream`.
+    pub fn get(&self, stream: StreamKind) -> u64 {
+        match stream {
+            StreamKind::Data => self.data,
+            StreamKind::Mirror => self.mirror,
+            StreamKind::Parity => self.parity,
+            StreamKind::Overflow => self.overflow,
+            StreamKind::OverflowMirror => self.overflow_mirror,
+        }
+    }
+
+    fn bucket(&mut self, stream: StreamKind) -> &mut u64 {
+        match stream {
+            StreamKind::Data => &mut self.data,
+            StreamKind::Mirror => &mut self.mirror,
+            StreamKind::Parity => &mut self.parity,
+            StreamKind::Overflow => &mut self.overflow,
+            StreamKind::OverflowMirror => &mut self.overflow_mirror,
+        }
+    }
+
+    /// Total bytes across all streams — the Table 2 "sum of the file
+    /// sizes at the I/O servers" quantity.
+    pub fn total(&self) -> u64 {
+        self.data + self.mirror + self.parity + self.overflow + self.overflow_mirror
+    }
+
+    /// Redundancy bytes (everything that is not primary data).
+    pub fn redundancy(&self) -> u64 {
+        self.total() - self.data
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &StreamUsage) {
+        self.data += other.data;
+        self.mirror += other.mirror;
+        self.parity += other.parity;
+        self.overflow += other.overflow;
+        self.overflow_mirror += other.overflow_mirror;
+    }
+}
+
+impl fmt::Display for StreamUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "data={} mirror={} parity={} overflow={} overflow-mirror={} total={}",
+            self.data, self.mirror, self.parity, self.overflow, self.overflow_mirror, self.total()
+        )
+    }
+}
+
+/// A cluster-wide storage report: one [`StreamUsage`] per I/O server plus
+/// the aggregate.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StorageReport {
+    pub per_server: Vec<StreamUsage>,
+}
+
+impl StorageReport {
+    /// Build from per-server usages.
+    pub fn new(per_server: Vec<StreamUsage>) -> Self {
+        Self { per_server }
+    }
+
+    /// Aggregate usage over all servers.
+    pub fn aggregate(&self) -> StreamUsage {
+        let mut total = StreamUsage::default();
+        for u in &self.per_server {
+            total.merge(u);
+        }
+        total
+    }
+
+    /// Total bytes stored cluster-wide.
+    pub fn total_bytes(&self) -> u64 {
+        self.aggregate().total()
+    }
+
+    /// Expansion factor relative to the *in-place* data bytes
+    /// (RAID0 ⇒ 1.0, RAID1 ⇒ 2.0, RAID5 with n servers ⇒ 1 + 1/(n-1)).
+    ///
+    /// Under Hybrid, partially-written blocks keep their primary copy in
+    /// the overflow region, so for workloads with overflowed bytes use
+    /// `total_bytes()` against the *logical* file size instead.
+    pub fn expansion(&self) -> f64 {
+        let agg = self.aggregate();
+        if agg.data == 0 {
+            return 1.0;
+        }
+        agg.total() as f64 / agg.data as f64
+    }
+}
+
+/// Format a byte count the way the paper's Table 2 does (whole MB).
+pub fn fmt_mb(bytes: u64) -> String {
+    format!("{} MB", (bytes as f64 / (1024.0 * 1024.0)).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_redundancy() {
+        let mut u = StreamUsage::default();
+        u.add(StreamKind::Data, 100);
+        u.add(StreamKind::Parity, 20);
+        u.add(StreamKind::Overflow, 5);
+        u.add(StreamKind::OverflowMirror, 5);
+        assert_eq!(u.total(), 130);
+        assert_eq!(u.redundancy(), 30);
+        assert_eq!(u.get(StreamKind::Parity), 20);
+    }
+
+    #[test]
+    fn report_aggregates_servers() {
+        let mut a = StreamUsage::default();
+        a.add(StreamKind::Data, 10);
+        let mut b = StreamUsage::default();
+        b.add(StreamKind::Data, 20);
+        b.add(StreamKind::Mirror, 30);
+        let r = StorageReport::new(vec![a, b]);
+        assert_eq!(r.total_bytes(), 60);
+        assert_eq!(r.aggregate().mirror, 30);
+        assert!((r.expansion() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expansion_of_empty_report_is_one() {
+        assert_eq!(StorageReport::default().expansion(), 1.0);
+    }
+
+    #[test]
+    fn mb_formatting_rounds() {
+        assert_eq!(fmt_mb(1024 * 1024), "1 MB");
+        assert_eq!(fmt_mb(1536 * 1024), "2 MB");
+    }
+}

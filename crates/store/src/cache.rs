@@ -1,0 +1,241 @@
+//! An LRU model of the I/O server's OS page cache.
+//!
+//! The CSAR paper's §5.2 and §6 results hinge on page-cache behaviour:
+//! reads of cached old data/parity are cheap (Fig. 4b), overwrite of an
+//! uncached file forces pre-reads from disk (Figs. 6b/7b), sub-block
+//! writes of uncached blocks force a block read before the write (§5.2),
+//! and RAID1's doubled write volume overflows the caches for BTIO Class C
+//! (Fig. 7a). This model tracks *which* 4 KB blocks are resident, so the
+//! simulator can classify each access; timing is charged by the simulator.
+
+use crate::local::StreamKind;
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifies one local file in the cache: `(file handle, stream)`.
+pub type FileKey = (u64, StreamKind);
+
+/// Outcome of classifying a range access against the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeAccess {
+    /// Blocks found resident.
+    pub hit_blocks: u64,
+    /// Blocks that had to come from disk (now resident).
+    pub miss_blocks: u64,
+}
+
+impl RangeAccess {
+    /// Total blocks touched.
+    pub fn total(&self) -> u64 {
+        self.hit_blocks + self.miss_blocks
+    }
+}
+
+/// LRU block cache model.
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    block_size: u64,
+    capacity_blocks: u64,
+    /// (file, block index) → last-use tick.
+    map: HashMap<(FileKey, u64), u64>,
+    /// last-use tick → (file, block index); the eviction order.
+    order: BTreeMap<u64, (FileKey, u64)>,
+    tick: u64,
+}
+
+impl CacheModel {
+    /// A cache of `capacity_bytes` with `block_size`-byte blocks.
+    ///
+    /// # Panics
+    /// Panics if `block_size` is zero.
+    pub fn new(block_size: u64, capacity_bytes: u64) -> Self {
+        assert!(block_size > 0, "cache block size must be positive");
+        Self {
+            block_size,
+            capacity_blocks: (capacity_bytes / block_size).max(1),
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// An effectively unbounded cache (everything stays resident).
+    pub fn unbounded(block_size: u64) -> Self {
+        Self::new(block_size, u64::MAX / 2)
+    }
+
+    /// The modelled file-system block size.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Resident blocks.
+    pub fn resident_blocks(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// Resident bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_blocks() * self.block_size
+    }
+
+    fn block_range(&self, off: u64, len: u64) -> std::ops::Range<u64> {
+        if len == 0 {
+            return 0..0;
+        }
+        let first = off / self.block_size;
+        let last = (off + len - 1) / self.block_size;
+        first..last + 1
+    }
+
+    fn touch_block(&mut self, key: FileKey, blk: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let hit = if let Some(old) = self.map.insert((key, blk), tick) {
+            self.order.remove(&old);
+            true
+        } else {
+            false
+        };
+        self.order.insert(tick, (key, blk));
+        self.evict_over_capacity();
+        hit
+    }
+
+    fn evict_over_capacity(&mut self) {
+        while self.map.len() as u64 > self.capacity_blocks {
+            let (&oldest, &(key, blk)) = self.order.iter().next().expect("order/map desync");
+            self.order.remove(&oldest);
+            self.map.remove(&(key, blk));
+        }
+    }
+
+    /// Classify a *read* of `[off, off+len)`: hits stay resident, misses
+    /// are loaded (counted as disk blocks) and become resident.
+    pub fn read_range(&mut self, key: FileKey, off: u64, len: u64) -> RangeAccess {
+        let mut acc = RangeAccess::default();
+        for blk in self.block_range(off, len) {
+            if self.touch_block(key, blk) {
+                acc.hit_blocks += 1;
+            } else {
+                acc.miss_blocks += 1;
+            }
+        }
+        acc
+    }
+
+    /// Record a *write* of `[off, off+len)`: written blocks become
+    /// resident (dirty pages in the page cache).
+    pub fn write_range(&mut self, key: FileKey, off: u64, len: u64) {
+        for blk in self.block_range(off, len) {
+            self.touch_block(key, blk);
+        }
+    }
+
+    /// Is the whole range resident? Does not touch LRU order.
+    pub fn is_range_cached(&self, key: FileKey, off: u64, len: u64) -> bool {
+        self.block_range(off, len).all(|blk| self.map.contains_key(&(key, blk)))
+    }
+
+    /// Is one block resident? Does not touch LRU order.
+    pub fn contains_block(&self, key: FileKey, blk: u64) -> bool {
+        self.map.contains_key(&(key, blk))
+    }
+
+    /// Drop every resident block of every stream of file `fh` — models
+    /// "after its contents have been removed from the cache" in the
+    /// paper's overwrite experiments.
+    pub fn evict_file(&mut self, fh: u64) {
+        let doomed: Vec<((FileKey, u64), u64)> = self
+            .map
+            .iter()
+            .filter(|(((handle, _), _), _)| *handle == fh)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        for (k, tick) in doomed {
+            self.map.remove(&k);
+            self.order.remove(&tick);
+        }
+    }
+
+    /// Drop everything.
+    pub fn evict_all(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: StreamKind = StreamKind::Data;
+
+    #[test]
+    fn cold_read_is_all_misses_then_hits() {
+        let mut c = CacheModel::new(4096, 1 << 20);
+        let a = c.read_range((1, DATA), 0, 8192);
+        assert_eq!(a, RangeAccess { hit_blocks: 0, miss_blocks: 2 });
+        let b = c.read_range((1, DATA), 0, 8192);
+        assert_eq!(b, RangeAccess { hit_blocks: 2, miss_blocks: 0 });
+    }
+
+    #[test]
+    fn block_range_straddles_boundaries() {
+        let mut c = CacheModel::new(4096, 1 << 20);
+        // 1 byte in block 0 plus 1 byte in block 1.
+        let a = c.read_range((1, DATA), 4095, 2);
+        assert_eq!(a.total(), 2);
+        // Zero-length touches nothing.
+        assert_eq!(c.read_range((1, DATA), 0, 0).total(), 0);
+    }
+
+    #[test]
+    fn writes_populate_cache() {
+        let mut c = CacheModel::new(4096, 1 << 20);
+        c.write_range((1, DATA), 0, 4096 * 3);
+        assert!(c.is_range_cached((1, DATA), 0, 4096 * 3));
+        let a = c.read_range((1, DATA), 0, 4096 * 3);
+        assert_eq!(a.miss_blocks, 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = CacheModel::new(4096, 4096 * 2); // 2 blocks
+        c.write_range((1, DATA), 0, 4096); // blk 0
+        c.write_range((1, DATA), 4096, 4096); // blk 1
+        c.read_range((1, DATA), 0, 1); // touch blk 0 (now newest)
+        c.write_range((1, DATA), 8192, 4096); // blk 2 evicts blk 1
+        assert!(c.contains_block((1, DATA), 0));
+        assert!(!c.contains_block((1, DATA), 1));
+        assert!(c.contains_block((1, DATA), 2));
+        assert_eq!(c.resident_blocks(), 2);
+    }
+
+    #[test]
+    fn streams_are_distinct_keys() {
+        let mut c = CacheModel::new(4096, 1 << 20);
+        c.write_range((1, StreamKind::Data), 0, 4096);
+        assert!(!c.is_range_cached((1, StreamKind::Parity), 0, 4096));
+    }
+
+    #[test]
+    fn evict_file_drops_all_streams_of_that_file_only() {
+        let mut c = CacheModel::new(4096, 1 << 20);
+        c.write_range((1, StreamKind::Data), 0, 4096);
+        c.write_range((1, StreamKind::Parity), 0, 4096);
+        c.write_range((2, StreamKind::Data), 0, 4096);
+        c.evict_file(1);
+        assert!(!c.contains_block((1, StreamKind::Data), 0));
+        assert!(!c.contains_block((1, StreamKind::Parity), 0));
+        assert!(c.contains_block((2, StreamKind::Data), 0));
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut c = CacheModel::unbounded(4096);
+        for i in 0..10_000u64 {
+            c.write_range((1, DATA), i * 4096, 4096);
+        }
+        assert_eq!(c.resident_blocks(), 10_000);
+    }
+}

@@ -1,0 +1,222 @@
+//! Write/read payloads: real bytes or phantom (length-only).
+
+use bytes::{Bytes, BytesMut};
+use csar_parity::xor_into;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A payload travelling through the CSAR data path.
+///
+/// `Data` carries real bytes (used by the live cluster and by
+/// correctness tests of the simulator's data plane). `Phantom` carries
+/// only a length: the simulator uses it to run experiments at the paper's
+/// data scales (up to ~13 GB of written bytes for BTIO Class C under
+/// RAID1) while preserving exact transfer-size, storage and cache
+/// accounting.
+///
+/// XOR-combining anything with a phantom yields a phantom of the same
+/// length, so parity bookkeeping stays length-correct in phantom runs.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Real bytes.
+    Data(Bytes),
+    /// A length-only stand-in for `len` bytes.
+    Phantom(u64),
+}
+
+/// Serde mirror of [`Payload`] (used by store snapshots).
+#[derive(Serialize, Deserialize)]
+enum PayloadRepr {
+    Data(Vec<u8>),
+    Phantom(u64),
+}
+
+impl Serialize for Payload {
+    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        let repr = match self {
+            Payload::Data(b) => PayloadRepr::Data(b.to_vec()),
+            Payload::Phantom(l) => PayloadRepr::Phantom(*l),
+        };
+        repr.serialize(ser)
+    }
+}
+
+impl<'de> Deserialize<'de> for Payload {
+    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        Ok(match PayloadRepr::deserialize(de)? {
+            PayloadRepr::Data(v) => Payload::Data(Bytes::from(v)),
+            PayloadRepr::Phantom(l) => Payload::Phantom(l),
+        })
+    }
+}
+
+impl Payload {
+    /// A payload of `len` zero bytes (real).
+    pub fn zeros(len: usize) -> Self {
+        Payload::Data(Bytes::from(vec![0u8; len]))
+    }
+
+    /// Construct from a byte vector.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        Payload::Data(Bytes::from(v))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Payload::Data(b) => b.len() as u64,
+            Payload::Phantom(l) => *l,
+        }
+    }
+
+    /// True when the payload has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when this payload carries real bytes.
+    pub fn is_data(&self) -> bool {
+        matches!(self, Payload::Data(_))
+    }
+
+    /// Borrow the real bytes, if any.
+    pub fn as_bytes(&self) -> Option<&Bytes> {
+        match self {
+            Payload::Data(b) => Some(b),
+            Payload::Phantom(_) => None,
+        }
+    }
+
+    /// Cheap sub-range `[start, start + len)`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the payload.
+    pub fn slice(&self, start: u64, len: u64) -> Payload {
+        assert!(
+            start + len <= self.len(),
+            "payload slice {}+{} out of {}",
+            start,
+            len,
+            self.len()
+        );
+        match self {
+            Payload::Data(b) => Payload::Data(b.slice(start as usize..(start + len) as usize)),
+            Payload::Phantom(_) => Payload::Phantom(len),
+        }
+    }
+
+    /// Concatenate a sequence of payloads.
+    ///
+    /// The result is `Data` only when every part is `Data`; any phantom
+    /// part degrades the whole to `Phantom` of the summed length.
+    pub fn concat(parts: &[Payload]) -> Payload {
+        let total: u64 = parts.iter().map(Payload::len).sum();
+        if parts.iter().all(Payload::is_data) {
+            let mut out = BytesMut::with_capacity(total as usize);
+            for p in parts {
+                if let Payload::Data(b) = p {
+                    out.extend_from_slice(b);
+                }
+            }
+            Payload::Data(out.freeze())
+        } else {
+            Payload::Phantom(total)
+        }
+    }
+
+    /// XOR two equal-length payloads.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn xor(&self, other: &Payload) -> Payload {
+        assert_eq!(self.len(), other.len(), "xor payloads must have equal length");
+        match (self, other) {
+            (Payload::Data(a), Payload::Data(b)) => {
+                let mut out = a.to_vec();
+                xor_into(&mut out, b);
+                Payload::Data(Bytes::from(out))
+            }
+            _ => Payload::Phantom(self.len()),
+        }
+    }
+
+    /// XOR `other` into `self` in place (allocates only in the Data/Data case).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn xor_assign(&mut self, other: &Payload) {
+        *self = self.xor(other);
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Data(b) if b.len() <= 16 => write!(f, "Data({:02x?})", &b[..]),
+            Payload::Data(b) => write!(f, "Data({} bytes)", b.len()),
+            Payload::Phantom(l) => write!(f, "Phantom({l})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_emptiness() {
+        assert_eq!(Payload::zeros(4).len(), 4);
+        assert_eq!(Payload::Phantom(9).len(), 9);
+        assert!(Payload::zeros(0).is_empty());
+        assert!(!Payload::Phantom(1).is_empty());
+    }
+
+    #[test]
+    fn slice_of_data() {
+        let p = Payload::from_vec(vec![1, 2, 3, 4, 5]);
+        assert_eq!(p.slice(1, 3), Payload::from_vec(vec![2, 3, 4]));
+    }
+
+    #[test]
+    fn slice_of_phantom_keeps_length_only() {
+        assert_eq!(Payload::Phantom(10).slice(4, 3), Payload::Phantom(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn slice_out_of_range_panics() {
+        Payload::from_vec(vec![0; 4]).slice(2, 3);
+    }
+
+    #[test]
+    fn concat_all_data() {
+        let p = Payload::concat(&[Payload::from_vec(vec![1, 2]), Payload::from_vec(vec![3])]);
+        assert_eq!(p, Payload::from_vec(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn concat_with_phantom_degrades() {
+        let p = Payload::concat(&[Payload::from_vec(vec![1, 2]), Payload::Phantom(3)]);
+        assert_eq!(p, Payload::Phantom(5));
+    }
+
+    #[test]
+    fn xor_data_data() {
+        let a = Payload::from_vec(vec![0b1100, 0b1010]);
+        let b = Payload::from_vec(vec![0b1010, 0b1010]);
+        assert_eq!(a.xor(&b), Payload::from_vec(vec![0b0110, 0]));
+    }
+
+    #[test]
+    fn xor_with_phantom_is_phantom() {
+        let a = Payload::from_vec(vec![1, 2, 3]);
+        assert_eq!(a.xor(&Payload::Phantom(3)), Payload::Phantom(3));
+        assert_eq!(Payload::Phantom(3).xor(&a), Payload::Phantom(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn xor_length_mismatch_panics() {
+        Payload::Phantom(2).xor(&Payload::Phantom(3));
+    }
+}

@@ -1,0 +1,387 @@
+//! Extent-mapped sparse file images.
+
+use crate::payload::Payload;
+use std::collections::BTreeMap;
+
+/// A sparse file image: what a PVFS/CSAR I/O daemon keeps as one local
+/// UNIX file.
+///
+/// The file is a map of non-overlapping extents. Reads zero-fill holes
+/// inside the logical size (as a UNIX file would) and are clipped to the
+/// logical size. `covered()` reports bytes actually written at least once
+/// — the quantity the paper's Table 2 sums per server ("the sum of the
+/// file sizes at the I/O servers" for densely-written PVFS stream files,
+/// and total appended bytes for the append-only overflow files).
+#[derive(Debug, Clone, Default)]
+pub struct SparseFile {
+    /// start → payload; extents never overlap and are never empty.
+    extents: BTreeMap<u64, Payload>,
+    /// Logical size: max end of any write ever applied.
+    size: u64,
+}
+
+impl SparseFile {
+    /// An empty file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Logical size (highest written offset).
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes covered by extents (written at least once and still mapped).
+    pub fn covered(&self) -> u64 {
+        self.extents.values().map(Payload::len).sum()
+    }
+
+    /// Number of extents (fragmentation metric).
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// True if `[off, off+len)` lies entirely within already-covered bytes.
+    pub fn range_covered(&self, off: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let mut cursor = off;
+        let end = off + len;
+        // Find the extent containing or preceding `cursor` and walk forward.
+        let mut iter = self
+            .extents
+            .range(..end)
+            .rev()
+            .take_while(|(s, p)| **s + p.len() > off)
+            .collect::<Vec<_>>();
+        iter.reverse();
+        for (s, p) in iter {
+            if *s > cursor {
+                return false; // hole before this extent
+            }
+            cursor = cursor.max(*s + p.len());
+            if cursor >= end {
+                return true;
+            }
+        }
+        cursor >= end
+    }
+
+    /// True if any byte of `[off, off+len)` is covered (i.e. the range is
+    /// not entirely a hole). A file system serves an uncovered range as
+    /// zeros without any disk access.
+    pub fn range_touches(&self, off: u64, len: u64) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let end = off + len;
+        self.extents
+            .range(..end)
+            .next_back()
+            .map(|(s, p)| *s + p.len() > off)
+            .unwrap_or(false)
+    }
+
+    /// Write `payload` at `off`, replacing any overlapped bytes.
+    pub fn write(&mut self, off: u64, payload: Payload) {
+        let len = payload.len();
+        if len == 0 {
+            return;
+        }
+        self.punch(off, len);
+        self.extents.insert(off, payload);
+        self.size = self.size.max(off + len);
+    }
+
+    /// Remove coverage of `[off, off+len)`, splitting boundary extents.
+    ///
+    /// Used both internally before a write and by overflow invalidation.
+    /// Does not change the logical size.
+    pub fn punch(&mut self, off: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let end = off + len;
+        // Collect starts of extents that overlap [off, end).
+        let overlapping: Vec<u64> = self
+            .extents
+            .range(..end)
+            .rev()
+            .take_while(|(s, p)| **s + p.len() > off)
+            .map(|(s, _)| *s)
+            .collect();
+        for s in overlapping {
+            let p = self.extents.remove(&s).expect("extent disappeared");
+            let e = s + p.len();
+            if s < off {
+                // Keep the left fragment.
+                self.extents.insert(s, p.slice(0, off - s));
+            }
+            if e > end {
+                // Keep the right fragment.
+                self.extents.insert(end, p.slice(end - s, e - end));
+            }
+        }
+    }
+
+    /// Read `[off, off+len)` as runs of `(offset, payload)` covering only
+    /// mapped bytes; holes are omitted.
+    pub fn read_runs(&self, off: u64, len: u64) -> Vec<(u64, Payload)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let end = off + len;
+        let mut runs: Vec<(u64, Payload)> = Vec::new();
+        let mut overlapping: Vec<(u64, &Payload)> = self
+            .extents
+            .range(..end)
+            .rev()
+            .take_while(|(s, p)| **s + p.len() > off)
+            .map(|(s, p)| (*s, p))
+            .collect();
+        overlapping.reverse();
+        for (s, p) in overlapping {
+            let e = s + p.len();
+            let from = s.max(off);
+            let to = e.min(end);
+            runs.push((from, p.slice(from - s, to - from)));
+        }
+        runs
+    }
+
+    /// Read `[off, off+len)` as a single payload, zero-filling holes.
+    ///
+    /// Bytes beyond the logical size read as zeros too (matching a read of
+    /// a hole / short file extended by the caller's zero-fill — the
+    /// semantics CSAR needs when pre-reading not-yet-written stripe data).
+    /// The result is `Data` unless any touched extent is phantom.
+    pub fn read_zero_filled(&self, off: u64, len: u64) -> Payload {
+        let runs = self.read_runs(off, len);
+        if runs.is_empty() {
+            return Payload::zeros(len as usize);
+        }
+        let mut parts: Vec<Payload> = Vec::with_capacity(runs.len() * 2 + 1);
+        let mut cursor = off;
+        for (s, p) in runs {
+            if s > cursor {
+                parts.push(Payload::zeros((s - cursor) as usize));
+            }
+            cursor = s + p.len();
+            parts.push(p);
+        }
+        if cursor < off + len {
+            parts.push(Payload::zeros((off + len - cursor) as usize));
+        }
+        Payload::concat(&parts)
+    }
+
+    /// Iterate the extents in offset order (snapshot support).
+    pub fn extents(&self) -> impl Iterator<Item = (u64, &Payload)> {
+        self.extents.iter().map(|(o, p)| (*o, p))
+    }
+
+    /// Rebuild a file from `(offset, payload)` extents (assumed
+    /// non-overlapping, as produced by [`SparseFile::extents`]).
+    pub fn from_extents(extents: impl IntoIterator<Item = (u64, Payload)>) -> Self {
+        let mut f = SparseFile::new();
+        for (off, p) in extents {
+            f.write(off, p);
+        }
+        f
+    }
+
+    /// Grow the logical size to at least `size` without writing (snapshot
+    /// restore: a file may end in a punched hole).
+    pub fn set_size_at_least(&mut self, size: u64) {
+        self.size = self.size.max(size);
+    }
+
+    /// Drop all contents (used when rebuilding a replacement server).
+    pub fn clear(&mut self) {
+        self.extents.clear();
+        self.size = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn data(v: &[u8]) -> Payload {
+        Payload::from_vec(v.to_vec())
+    }
+
+    #[test]
+    fn empty_file_reads_zeros() {
+        let f = SparseFile::new();
+        assert_eq!(f.read_zero_filled(10, 4), Payload::zeros(4));
+        assert_eq!(f.size(), 0);
+        assert_eq!(f.covered(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut f = SparseFile::new();
+        f.write(4, data(&[1, 2, 3, 4]));
+        assert_eq!(f.size(), 8);
+        assert_eq!(f.covered(), 4);
+        assert_eq!(f.read_zero_filled(4, 4), data(&[1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn read_zero_fills_holes_and_edges() {
+        let mut f = SparseFile::new();
+        f.write(2, data(&[9, 9]));
+        f.write(6, data(&[7]));
+        assert_eq!(f.read_zero_filled(0, 8), data(&[0, 0, 9, 9, 0, 0, 7, 0]));
+    }
+
+    #[test]
+    fn overwrite_replaces_middle_of_extent() {
+        let mut f = SparseFile::new();
+        f.write(0, data(&[1, 1, 1, 1, 1, 1]));
+        f.write(2, data(&[2, 2]));
+        assert_eq!(f.read_zero_filled(0, 6), data(&[1, 1, 2, 2, 1, 1]));
+        assert_eq!(f.covered(), 6);
+        assert_eq!(f.extent_count(), 3);
+    }
+
+    #[test]
+    fn overwrite_spanning_multiple_extents() {
+        let mut f = SparseFile::new();
+        f.write(0, data(&[1, 1]));
+        f.write(4, data(&[2, 2]));
+        f.write(1, data(&[5, 5, 5, 5]));
+        assert_eq!(f.read_zero_filled(0, 6), data(&[1, 5, 5, 5, 5, 2]));
+        assert_eq!(f.covered(), 6);
+    }
+
+    #[test]
+    fn punch_uncovers_range_without_shrinking_size() {
+        let mut f = SparseFile::new();
+        f.write(0, data(&[1, 2, 3, 4]));
+        f.punch(1, 2);
+        assert_eq!(f.size(), 4);
+        assert_eq!(f.covered(), 2);
+        assert_eq!(f.read_zero_filled(0, 4), data(&[1, 0, 0, 4]));
+        assert!(!f.range_covered(0, 4));
+        assert!(f.range_covered(0, 1));
+        assert!(f.range_covered(3, 1));
+    }
+
+    #[test]
+    fn range_covered_across_adjacent_extents() {
+        let mut f = SparseFile::new();
+        f.write(0, data(&[1, 1]));
+        f.write(2, data(&[2, 2]));
+        assert!(f.range_covered(0, 4));
+        assert!(f.range_covered(1, 2));
+        assert!(!f.range_covered(0, 5));
+        assert!(f.range_covered(0, 0));
+    }
+
+    #[test]
+    fn range_touches_detects_holes() {
+        let mut f = SparseFile::new();
+        f.write(10, data(&[1, 2, 3]));
+        f.write(100, data(&[9]));
+        assert!(!f.range_touches(0, 10)); // before first extent
+        assert!(f.range_touches(9, 2)); // overlaps start
+        assert!(f.range_touches(12, 5)); // overlaps end
+        assert!(!f.range_touches(13, 80)); // hole between extents
+        assert!(f.range_touches(50, 51)); // reaches second extent
+        assert!(!f.range_touches(101, 10)); // past EOF
+        assert!(!f.range_touches(0, 0));
+    }
+
+    #[test]
+    fn phantom_extents_track_sizes() {
+        let mut f = SparseFile::new();
+        f.write(0, Payload::Phantom(100));
+        f.write(50, Payload::Phantom(100));
+        assert_eq!(f.size(), 150);
+        assert_eq!(f.covered(), 150);
+        assert_eq!(f.read_zero_filled(0, 150), Payload::Phantom(150));
+    }
+
+    #[test]
+    fn phantom_and_data_mix_degrades_read() {
+        let mut f = SparseFile::new();
+        f.write(0, data(&[1, 2]));
+        f.write(2, Payload::Phantom(2));
+        assert_eq!(f.read_zero_filled(0, 4), Payload::Phantom(4));
+        // A read touching only the data extent stays data.
+        assert_eq!(f.read_zero_filled(0, 2), data(&[1, 2]));
+    }
+
+    #[test]
+    fn read_runs_skips_holes() {
+        let mut f = SparseFile::new();
+        f.write(0, data(&[1]));
+        f.write(4, data(&[2]));
+        let runs = f.read_runs(0, 8);
+        assert_eq!(runs, vec![(0, data(&[1])), (4, data(&[2]))]);
+    }
+
+    /// Reference model: a plain Vec<u8> with a covered bitmap.
+    #[derive(Default)]
+    struct Model {
+        bytes: Vec<u8>,
+        covered: Vec<bool>,
+    }
+    impl Model {
+        fn write(&mut self, off: usize, data: &[u8]) {
+            let end = off + data.len();
+            if self.bytes.len() < end {
+                self.bytes.resize(end, 0);
+                self.covered.resize(end, false);
+            }
+            self.bytes[off..end].copy_from_slice(data);
+            for c in &mut self.covered[off..end] {
+                *c = true;
+            }
+        }
+        fn read(&self, off: usize, len: usize) -> Vec<u8> {
+            let mut out = vec![0u8; len];
+            for (i, slot) in out.iter_mut().enumerate() {
+                if off + i < self.bytes.len() {
+                    *slot = self.bytes[off + i];
+                }
+            }
+            out
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn matches_flat_model(ops in proptest::collection::vec(
+            (0u64..128, proptest::collection::vec(any::<u8>(), 1..32)), 1..40))
+        {
+            let mut f = SparseFile::new();
+            let mut m = Model::default();
+            for (off, d) in &ops {
+                f.write(*off, Payload::from_vec(d.clone()));
+                m.write(*off as usize, d);
+            }
+            prop_assert_eq!(f.size() as usize, m.bytes.len());
+            prop_assert_eq!(
+                f.covered() as usize,
+                m.covered.iter().filter(|c| **c).count()
+            );
+            // Reads at assorted ranges agree.
+            for (off, len) in [(0u64, 160u64), (5, 40), (100, 64), (130, 10)] {
+                let got = f.read_zero_filled(off, len);
+                let want = m.read(off as usize, len as usize);
+                prop_assert_eq!(got, Payload::from_vec(want));
+            }
+            // range_covered agrees with the bitmap on a few probes.
+            for (off, len) in [(0u64, 10u64), (20, 5), (60, 30)] {
+                let want = (off..off + len)
+                    .all(|i| (i as usize) < m.covered.len() && m.covered[i as usize]);
+                prop_assert_eq!(f.range_covered(off, len), want);
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The NAS BTIO benchmark, `full-mpiio` variant (§6.5, Figs. 6 & 7,
+//! Table 2).
+//!
+//! BT runs 200 time steps and checkpoints the solution every 5 steps:
+//! 40 collective dumps of `total/40` bytes each. With ROMIO's collective
+//! buffering, each dump reaches PVFS as one large contiguous chunk per
+//! process (`total/40/P`, ~4 MB for Class B at 9 processes — "most of
+//! which are about 4 MB"), at offsets that are *not* stripe-aligned, so
+//! "each write from the benchmark usually results in one or two partial
+//! stripe writes".
+
+use crate::{mib, Workload};
+use csar_sim::{Op, Phase};
+
+/// NAS problem classes, sized by the paper's Table 2 RAID0 column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// ~419 MB output.
+    A,
+    /// ~1698 MB output.
+    B,
+    /// ~6802 MB output.
+    C,
+}
+
+impl Class {
+    /// Total bytes the benchmark writes.
+    pub fn total_bytes(self) -> u64 {
+        match self {
+            Class::A => mib(419),
+            Class::B => mib(1698),
+            Class::C => mib(6802),
+        }
+    }
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Class::A => "Class A",
+            Class::B => "Class B",
+            Class::C => "Class C",
+        }
+    }
+}
+
+/// Number of collective dumps (200 steps, every 5th checkpointed).
+pub const DUMPS: u64 = 40;
+
+/// ROMIO collective-buffering buffer size: each aggregator issues writes
+/// of at most this size ("most of which are about 4 MB in size").
+pub const CB_BUFFER: u64 = mib(4);
+
+/// Build the BTIO write workload: one phase per collective dump.
+///
+/// `procs` is the MPI process count (the paper uses the square numbers
+/// 4, 9, 16, 25).
+pub fn write_workload(file: usize, class: Class, procs: usize) -> Workload {
+    assert!(procs > 0);
+    let total = class.total_bytes();
+    let per_dump = total / DUMPS;
+    let mut phases = Vec::with_capacity(DUMPS as usize);
+    for d in 0..DUMPS {
+        let base = d * per_dump;
+        // Last dump absorbs the rounding remainder.
+        let dump_len = if d == DUMPS - 1 { total - base } else { per_dump };
+        let chunk = dump_len / procs as u64;
+        let mut phase: Phase = Vec::with_capacity(procs);
+        for p in 0..procs {
+            let off = base + p as u64 * chunk;
+            let len = if p == procs - 1 { dump_len - (chunk * (procs as u64 - 1)) } else { chunk };
+            // ROMIO issues the aggregator's portion in cb_buffer_size
+            // pieces, sequentially.
+            let mut ops = Vec::with_capacity(len.div_ceil(CB_BUFFER) as usize);
+            let mut cursor = 0;
+            while cursor < len {
+                let piece = CB_BUFFER.min(len - cursor);
+                ops.push(Op::Write { file, off: off + cursor, len: piece });
+                cursor += piece;
+            }
+            if !ops.is_empty() {
+                phase.push((p, ops));
+            }
+        }
+        phases.push(phase);
+    }
+    Workload {
+        name: format!("BTIO {} write, {procs} procs", class.label()),
+        phases,
+        kernel_module: false,
+        op_overhead_ns: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_table2_raid0_column() {
+        assert_eq!(Class::A.total_bytes(), 419 << 20);
+        assert_eq!(Class::B.total_bytes(), 1698 << 20);
+        assert_eq!(Class::C.total_bytes(), 6802 << 20);
+    }
+
+    #[test]
+    fn workload_covers_exactly_the_file() {
+        for procs in [4usize, 9, 16, 25] {
+            let w = write_workload(0, Class::B, procs);
+            assert_eq!(w.phases.len(), DUMPS as usize);
+            assert_eq!(w.bytes_written(), Class::B.total_bytes(), "procs={procs}");
+            assert_eq!(w.clients(), procs);
+            // Writes are contiguous and non-overlapping: sort and check.
+            let mut spans: Vec<(u64, u64)> = w
+                .phases
+                .iter()
+                .flatten()
+                .flat_map(|(_, ops)| ops.iter())
+                .map(|op| match op {
+                    Op::Write { off, len, .. } => (*off, *len),
+                    _ => panic!(),
+                })
+                .collect();
+            spans.sort_unstable();
+            let mut cursor = 0;
+            for (off, len) in spans {
+                assert_eq!(off, cursor, "gap/overlap at {off}");
+                cursor = off + len;
+            }
+            assert_eq!(cursor, Class::B.total_bytes());
+        }
+    }
+
+    #[test]
+    fn requests_are_about_4mb_at_any_proc_count() {
+        // "most of which are about 4 MB in size" — ROMIO's cb buffer
+        // caps requests regardless of process count.
+        for procs in [4usize, 9, 25] {
+            let w = write_workload(0, Class::B, procs);
+            let lens: Vec<u64> = w
+                .phases
+                .iter()
+                .flatten()
+                .flat_map(|(_, ops)| ops.iter())
+                .map(|op| match op {
+                    Op::Write { len, .. } => *len,
+                    _ => panic!(),
+                })
+                .collect();
+            // Nothing exceeds the cb buffer, and the bulk of the bytes
+            // travel in buffer-sized pieces.
+            assert!(lens.iter().all(|l| *l <= CB_BUFFER), "procs={procs}");
+            let avg = lens.iter().sum::<u64>() as f64 / lens.len() as f64;
+            assert!(
+                avg >= mib(1) as f64 && avg <= CB_BUFFER as f64,
+                "procs={procs}: average request {avg} should be MB-scale"
+            );
+        }
+    }
+
+    #[test]
+    fn chunks_are_not_stripe_aligned() {
+        // With a 64 KB unit and 6 servers the group is 320 KB; BTIO
+        // chunk offsets should mostly not be multiples of it.
+        let group = 5 * 64 * 1024u64;
+        let w = write_workload(0, Class::B, 9);
+        let misaligned = w
+            .phases
+            .iter()
+            .flatten()
+            .flat_map(|(_, ops)| ops.iter())
+            .filter(|op| match op {
+                Op::Write { off, .. } => off % group != 0,
+                _ => false,
+            })
+            .count();
+        assert!(misaligned as f64 > 0.8 * w.request_count() as f64);
+    }
+}

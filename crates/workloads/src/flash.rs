@@ -1,0 +1,259 @@
+//! The FLASH I/O benchmark (§6.6, Fig. 8; Table 2).
+//!
+//! FLASH I/O recreates the primary data structures of the ASCI FLASH
+//! code and "writes a checkpoint file, a plotfile with centered data and
+//! a plotfile with corner data" through HDF5/MPI-IO. At the PVFS layer
+//! the paper characterises it precisely:
+//!
+//! * "mostly small and medium size write requests ranging from a few
+//!   kilobytes to a few hundred kilobytes";
+//! * 4 processes: 46 % of requests < 2 KB, 24 processes: 37 % < 2 KB,
+//!   "the rest of the requests were in the 100 KB–300 KB range";
+//! * total data: 45 MB at 4 processes, 235 MB at 24 (Table 2, RAID0).
+//!
+//! The generator reproduces that mix across the three files: the
+//! checkpoint holds all 24 double-precision unknowns (file `base`), the
+//! plotfiles hold 4 single-precision variables each (files `base+1`,
+//! `base+2`). Every variable is one collective phase: each process
+//! writes occasional ~1 KB attribute records and two 100–300 KB data
+//! chunks at variable-major interleaved offsets (HDF5 dataset layout).
+
+use crate::{kib, Workload};
+use csar_sim::{Op, Phase};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// FLASH unknowns in the checkpoint file.
+pub const NVARS: usize = 24;
+
+/// Variables in each plotfile.
+pub const PLOT_VARS: usize = 4;
+
+/// Data chunks each process writes per variable.
+const CHUNKS_PER_VAR: u64 = 2;
+
+/// Data chunk bytes: checkpoint (double precision) vs plotfile (single).
+const CK_CHUNK: u64 = 170 * 1024;
+const PLOT_CHUNK: u64 = 104 * 1024;
+
+/// Small (attribute/metadata) records per process across the run.
+const SMALL_PER_PROC: usize = 39;
+
+/// Global header/metadata small records (written by rank 0).
+const SMALL_GLOBAL: usize = 88;
+
+/// Global grid/coordinate records written by rank 0 (medium sized,
+/// checkpoint file).
+const GLOBAL_MEDIUM: usize = 30;
+const GLOBAL_MEDIUM_BYTES: u64 = 236 * 1024;
+
+/// Description of one output file's variable section.
+struct FilePlan {
+    file: usize,
+    nvars: usize,
+    chunk: u64,
+    /// Offset where variable data begins (after headers/globals).
+    vars_base: u64,
+}
+
+/// Build the FLASH I/O workload for `procs` processes, writing files
+/// `base`, `base+1` and `base+2`.
+///
+/// `seed` controls the jitter of small-record sizes only; offsets and
+/// chunk sizes are deterministic.
+pub fn workload(base: usize, procs: usize, seed: u64) -> Workload {
+    assert!(procs > 0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let header_extent = kib(256);
+    let globals_extent = GLOBAL_MEDIUM as u64 * GLOBAL_MEDIUM_BYTES;
+    let plans = [
+        FilePlan { file: base, nvars: NVARS, chunk: CK_CHUNK, vars_base: header_extent + globals_extent },
+        FilePlan { file: base + 1, nvars: PLOT_VARS, chunk: PLOT_CHUNK, vars_base: header_extent },
+        FilePlan { file: base + 2, nvars: PLOT_VARS, chunk: PLOT_CHUNK, vars_base: header_extent },
+    ];
+
+    let mut phases: Vec<Phase> = Vec::new();
+
+    // Phase 0: rank 0 writes the checkpoint header and global grid data.
+    let mut head_ops = Vec::new();
+    let mut cursor = 0u64;
+    for _ in 0..SMALL_GLOBAL {
+        let len = rng.gen_range(64..kib(2));
+        head_ops.push(Op::Write { file: base, off: cursor, len });
+        cursor += len;
+    }
+    for g in 0..GLOBAL_MEDIUM as u64 {
+        head_ops.push(Op::Write {
+            file: base,
+            off: header_extent + g * GLOBAL_MEDIUM_BYTES,
+            len: GLOBAL_MEDIUM_BYTES,
+        });
+    }
+    phases.push(vec![(0, head_ops)]);
+
+    // One collective phase per variable of each file: each process
+    // writes occasional small attribute records plus its data chunks,
+    // interleaved variable-major.
+    let mut small_budget: Vec<usize> = vec![SMALL_PER_PROC; procs];
+    let total_var_phases: usize = plans.iter().map(|p| p.nvars).sum();
+    let mut phase_idx = 0usize;
+    for plan in &plans {
+        let var_extent = plan.chunk * CHUNKS_PER_VAR * procs as u64;
+        let attr_extent = (procs as u64 * 4 + 4) * kib(1);
+        for v in 0..plan.nvars as u64 {
+            let vbase = plan.vars_base + v * (var_extent + attr_extent);
+            let mut phase: Phase = Vec::with_capacity(procs);
+            for (p, budget) in small_budget.iter_mut().enumerate() {
+                let mut ops = Vec::new();
+                // Keep each process's remaining small records spread
+                // evenly over the remaining phases.
+                let remaining_phases = total_var_phases - phase_idx;
+                let due = *budget * total_var_phases >= SMALL_PER_PROC * remaining_phases
+                    && *budget > 0;
+                if due {
+                    *budget -= 1;
+                    let len = rng.gen_range(128..kib(2));
+                    ops.push(Op::Write {
+                        file: plan.file,
+                        off: vbase + var_extent + p as u64 * 4 * kib(1),
+                        len,
+                    });
+                }
+                for c in 0..CHUNKS_PER_VAR {
+                    let off = vbase + (p as u64 * CHUNKS_PER_VAR + c) * plan.chunk;
+                    ops.push(Op::Write { file: plan.file, off, len: plan.chunk });
+                }
+                phase.push((p, ops));
+            }
+            phases.push(phase);
+            phase_idx += 1;
+        }
+    }
+
+    // Remaining small records (per-block metadata flushed at close).
+    let ck_var_extent = CK_CHUNK * CHUNKS_PER_VAR * procs as u64;
+    let ck_attr_extent = (procs as u64 * 4 + 4) * kib(1);
+    let tail_base = plans[0].vars_base + NVARS as u64 * (ck_var_extent + ck_attr_extent);
+    let mut tail: Phase = Vec::new();
+    for (p, &budget) in small_budget.iter().enumerate() {
+        if budget == 0 {
+            continue;
+        }
+        let mut ops = Vec::new();
+        for k in 0..budget {
+            let len = rng.gen_range(128..kib(2));
+            ops.push(Op::Write {
+                file: base,
+                off: tail_base + (p * SMALL_PER_PROC + k) as u64 * kib(2),
+                len,
+            });
+        }
+        tail.push((p, ops));
+    }
+    if !tail.is_empty() {
+        phases.push(tail);
+    }
+
+    Workload {
+        name: format!("FLASH I/O {procs} procs"),
+        phases,
+        kernel_module: false,
+        op_overhead_ns: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_three_files() {
+        let w = workload(0, 4, 1);
+        assert_eq!(w.files(), 3);
+        // The checkpoint dwarfs the plotfiles, as in FLASH.
+        let mut per_file = [0u64; 3];
+        for phase in &w.phases {
+            for (_, ops) in phase {
+                for op in ops {
+                    if let Op::Write { file, len, .. } = op {
+                        per_file[*file] += len;
+                    }
+                }
+            }
+        }
+        assert!(per_file[0] > 5 * per_file[1]);
+        assert!(per_file[1] > 0 && per_file[2] > 0);
+    }
+
+    #[test]
+    fn four_proc_total_matches_table2() {
+        let w = workload(0, 4, 1);
+        let mb = w.bytes_written() as f64 / (1024.0 * 1024.0);
+        assert!((mb - 45.0).abs() < 3.0, "4-proc total {mb} MB should be ≈45 MB");
+    }
+
+    #[test]
+    fn twentyfour_proc_total_matches_table2() {
+        let w = workload(0, 24, 1);
+        let mb = w.bytes_written() as f64 / (1024.0 * 1024.0);
+        assert!((mb - 235.0).abs() < 10.0, "24-proc total {mb} MB should be ≈235 MB");
+    }
+
+    #[test]
+    fn small_request_fractions_match_paper() {
+        let w4 = workload(0, 4, 1);
+        let f4 = w4.fraction_smaller_than(kib(2));
+        assert!((f4 - 0.46).abs() < 0.05, "4-proc small fraction {f4} ≈ 46%");
+        let w24 = workload(0, 24, 1);
+        let f24 = w24.fraction_smaller_than(kib(2));
+        assert!((f24 - 0.37).abs() < 0.05, "24-proc small fraction {f24} ≈ 37%");
+    }
+
+    #[test]
+    fn data_requests_are_100_to_300_kib() {
+        let w = workload(0, 4, 1);
+        for phase in &w.phases {
+            for (_, ops) in phase {
+                for op in ops {
+                    let Op::Write { len, .. } = op else { panic!() };
+                    assert!(
+                        *len < kib(2) || (*len >= 100 * 1024 && *len <= 300 * 1024),
+                        "request of {len} bytes outside the paper's mix"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn writes_do_not_overlap_within_any_file() {
+        let w = workload(0, 24, 7);
+        for file in 0..3usize {
+            let mut spans: Vec<(u64, u64)> = w
+                .phases
+                .iter()
+                .flatten()
+                .flat_map(|(_, ops)| ops.iter())
+                .filter_map(|op| match op {
+                    Op::Write { file: f, off, len } if *f == file => Some((*off, *len)),
+                    _ => None,
+                })
+                .collect();
+            spans.sort_unstable();
+            for pair in spans.windows(2) {
+                assert!(
+                    pair[0].0 + pair[0].1 <= pair[1].0,
+                    "file {file}: overlap at {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = workload(0, 4, 9);
+        let b = workload(0, 4, 9);
+        assert_eq!(a.bytes_written(), b.bytes_written());
+        assert_eq!(a.request_count(), b.request_count());
+    }
+}

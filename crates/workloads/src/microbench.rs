@@ -1,0 +1,118 @@
+//! The paper's microbenchmarks (§5.1, §6.2, §6.3).
+
+use crate::Workload;
+use csar_sim::{Op, Phase};
+
+/// §6.2 / Fig. 4a: a single client writes `ops` chunks, each an integral
+/// number of parity groups (`groups_per_op · group_bytes`), sequentially.
+/// "The write sizes were chosen to be an integral number of the stripe
+/// size" — the best case for RAID5.
+pub fn full_stripe_writes(file: usize, group_bytes: u64, groups_per_op: u64, ops: u64) -> Workload {
+    assert!(group_bytes > 0 && groups_per_op > 0 && ops > 0);
+    let chunk = group_bytes * groups_per_op;
+    let list: Vec<Op> = (0..ops).map(|i| Op::Write { file, off: i * chunk, len: chunk }).collect();
+    Workload {
+        name: format!("full-stripe x{ops} ({chunk} B)"),
+        phases: vec![vec![(0, list)]],
+        kernel_module: false,
+        op_overhead_ns: 0,
+    }
+}
+
+/// §6.3 / Fig. 4b: a single client creates a large file and then writes
+/// it in one-block chunks — every write updates a single stripe block,
+/// the worst case for RAID5 (read-modify-write per write).
+///
+/// Returns `(create, small_writes)`: run `create` first so the old data
+/// and parity exist (and sit in the server caches, as in the paper).
+pub fn small_writes(file: usize, unit: u64, blocks: u64) -> (Workload, Workload) {
+    assert!(unit > 0 && blocks > 0);
+    let create = Workload {
+        name: "small-writes: create".into(),
+        phases: vec![vec![(0, vec![Op::Write { file, off: 0, len: unit * blocks }])]],
+        kernel_module: false,
+        op_overhead_ns: 0,
+    };
+    let list: Vec<Op> = (0..blocks).map(|i| Op::Write { file, off: i * unit, len: unit }).collect();
+    let writes = Workload {
+        name: format!("small-writes x{blocks} ({unit} B)"),
+        phases: vec![vec![(0, list)]],
+        kernel_module: false,
+        op_overhead_ns: 0,
+    };
+    (create, writes)
+}
+
+/// §5.1 / Fig. 3: `clients` clients concurrently write *different*
+/// blocks of the *same* stripe, `rounds` times each — the microbenchmark
+/// that measures the parity-lock overhead (the paper used 5 clients on a
+/// stripe of 5 data blocks, i.e. 6 I/O servers).
+///
+/// Returns `(seed, contended)`: `seed` materialises the stripe first.
+pub fn shared_stripe(file: usize, unit: u64, clients: usize, rounds: u64) -> (Workload, Workload) {
+    assert!(clients > 0 && rounds > 0);
+    let seed = Workload {
+        name: "shared-stripe: seed".into(),
+        phases: vec![vec![(0, vec![Op::Write { file, off: 0, len: unit * clients as u64 }])]],
+        kernel_module: false,
+        op_overhead_ns: 0,
+    };
+    let phase: Phase = (0..clients)
+        .map(|c| {
+            let ops = (0..rounds)
+                .map(|_| Op::Write { file, off: c as u64 * unit, len: unit })
+                .collect();
+            (c, ops)
+        })
+        .collect();
+    let contended = Workload {
+        name: format!("shared-stripe {clients}x{rounds}"),
+        phases: vec![phase],
+        kernel_module: false,
+        op_overhead_ns: 0,
+    };
+    (seed, contended)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_stripe_ops_are_group_aligned() {
+        let w = full_stripe_writes(0, 5 * 64 * 1024, 2, 10);
+        assert_eq!(w.bytes_written(), 10 * 2 * 5 * 64 * 1024);
+        assert_eq!(w.request_count(), 10);
+        for phase in &w.phases {
+            for (_, ops) in phase {
+                for op in ops {
+                    let Op::Write { off, len, .. } = op else { panic!() };
+                    assert_eq!(off % (5 * 64 * 1024), 0);
+                    assert_eq!(len % (5 * 64 * 1024), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_writes_cover_the_created_file() {
+        let (create, writes) = small_writes(0, 16 * 1024, 100);
+        assert_eq!(create.bytes_written(), writes.bytes_written());
+        assert_eq!(writes.request_count(), 100);
+        assert_eq!(writes.fraction_smaller_than(16 * 1024 + 1), 1.0);
+    }
+
+    #[test]
+    fn shared_stripe_targets_distinct_blocks() {
+        let (_, w) = shared_stripe(0, 1024, 5, 3);
+        assert_eq!(w.clients(), 5);
+        assert_eq!(w.request_count(), 15);
+        // All ops of client c start at c*unit.
+        for (c, ops) in &w.phases[0] {
+            for op in ops {
+                let Op::Write { off, .. } = op else { panic!() };
+                assert_eq!(*off, *c as u64 * 1024);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The ROMIO `perf` benchmark (§6.4, Fig. 5).
+//!
+//! "an MPI program in which clients write concurrently to a single file.
+//! Each client writes a large buffer, to an offset in the file which is
+//! equal to the rank of the client times the size of the buffer. The
+//! write size is 4 MB by default."
+
+use crate::{mib, Workload};
+use csar_sim::{Op, Phase};
+
+/// Default perf buffer size.
+pub const DEFAULT_BUF: u64 = mib(4);
+
+/// The write pass: rank `r` writes `buf` bytes at `r · buf`, repeated
+/// `reps` times (perf loops to produce a stable figure).
+pub fn perf_writes(file: usize, clients: usize, buf: u64, reps: u64) -> Workload {
+    assert!(clients > 0 && buf > 0 && reps > 0);
+    let phase: Phase = (0..clients)
+        .map(|c| {
+            let ops = (0..reps)
+                .map(|_| Op::Write { file, off: c as u64 * buf, len: buf })
+                .collect();
+            (c, ops)
+        })
+        .collect();
+    Workload {
+        name: format!("perf write {clients}p x{buf}B"),
+        phases: vec![phase],
+        kernel_module: false,
+        op_overhead_ns: 0,
+    }
+}
+
+/// The read pass: the mirror image of the write pass.
+pub fn perf_reads(file: usize, clients: usize, buf: u64, reps: u64) -> Workload {
+    assert!(clients > 0 && buf > 0 && reps > 0);
+    let phase: Phase = (0..clients)
+        .map(|c| {
+            let ops = (0..reps)
+                .map(|_| Op::Read { file, off: c as u64 * buf, len: buf })
+                .collect();
+            (c, ops)
+        })
+        .collect();
+    Workload {
+        name: format!("perf read {clients}p x{buf}B"),
+        phases: vec![phase],
+        kernel_module: false,
+        op_overhead_ns: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_write_disjoint_regions() {
+        let w = perf_writes(0, 4, DEFAULT_BUF, 1);
+        let mut offs: Vec<u64> = w.phases[0]
+            .iter()
+            .flat_map(|(_, ops)| ops.iter())
+            .map(|op| match op {
+                Op::Write { off, .. } => *off,
+                _ => panic!(),
+            })
+            .collect();
+        offs.sort_unstable();
+        assert_eq!(offs, vec![0, mib(4), mib(8), mib(12)]);
+        assert_eq!(w.bytes_written(), mib(16));
+    }
+
+    #[test]
+    fn read_pass_mirrors_write_pass() {
+        let w = perf_writes(0, 3, mib(4), 2);
+        let r = perf_reads(0, 3, mib(4), 2);
+        assert_eq!(w.bytes_written(), r.bytes_read());
+        assert_eq!(w.request_count(), r.request_count());
+    }
+}

@@ -1,0 +1,84 @@
+//! `csar-ctl` — an interactive shell over a live in-process CSAR cluster.
+//!
+//! ```text
+//! csar-ctl [--servers N | --load DIR] [-c "cmd; cmd; ..."]
+//! ```
+//!
+//! Without `-c`, reads commands from stdin (type `help`). With `-c`,
+//! runs the `;`-separated commands and exits — handy for scripting:
+//!
+//! ```text
+//! csar-ctl -c "create demo hybrid 64k; writestr 0 hello; fail 1; read 0 5; rebuild 1; scrub"
+//! ```
+
+use csar::ctl::{Outcome, Session};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut servers = 4u32;
+    let mut script: Option<String> = None;
+    let mut load: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--servers" => {
+                servers = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("bad value for --servers"));
+            }
+            "--load" => load = Some(it.next().cloned().unwrap_or_else(|| usage("missing dir for --load"))),
+            "-c" => script = Some(it.next().cloned().unwrap_or_else(|| usage("missing script for -c"))),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let mut session = match &load {
+        Some(dir) => Session::load(std::path::Path::new(dir)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }),
+        None => Session::new(servers),
+    };
+    if let Some(script) = script {
+        for cmd in script.split(';') {
+            let cmd = cmd.trim();
+            if cmd.is_empty() {
+                continue;
+            }
+            println!("csar> {cmd}");
+            match session.run(cmd) {
+                Outcome::Text(t) if !t.is_empty() => println!("{t}"),
+                Outcome::Text(_) => {}
+                Outcome::Quit => break,
+            }
+        }
+        session.shutdown();
+        return;
+    }
+
+    println!("csar-ctl: live cluster with {servers} I/O servers (type 'help')");
+    let stdin = std::io::stdin();
+    loop {
+        print!("csar> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        match session.run(line.trim()) {
+            Outcome::Text(t) if !t.is_empty() => println!("{t}"),
+            Outcome::Text(_) => {}
+            Outcome::Quit => break,
+        }
+    }
+    session.shutdown();
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: csar-ctl [--servers N | --load DIR] [-c \"cmd; cmd\"]");
+    std::process::exit(2);
+}

@@ -1,0 +1,389 @@
+//! The `csar-ctl` command interpreter: an interactive/scriptable shell
+//! over a live in-process cluster. The binary (`src/bin/csar-ctl.rs`) is
+//! a thin REPL around [`Session`]; keeping the interpreter here makes it
+//! unit-testable.
+
+use csar_cluster::{Cluster, File};
+use csar_core::proto::Scheme;
+use csar_core::CsarError;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Outcome of one command.
+pub enum Outcome {
+    /// Text to show the user.
+    Text(String),
+    /// Terminate the session.
+    Quit,
+}
+
+/// An interactive session: one cluster plus open file handles.
+pub struct Session {
+    cluster: Cluster,
+    files: HashMap<String, File>,
+    current: Option<String>,
+}
+
+fn parse_scheme(s: &str) -> Result<Scheme, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "raid0" | "r0" => Ok(Scheme::Raid0),
+        "raid1" | "r1" => Ok(Scheme::Raid1),
+        "raid5" | "r5" => Ok(Scheme::Raid5),
+        "hybrid" | "hy" => Ok(Scheme::Hybrid),
+        other => Err(format!("unknown scheme '{other}' (raid0|raid1|raid5|hybrid)")),
+    }
+}
+
+fn parse_size(s: &str) -> Result<u64, String> {
+    let (digits, mult) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 1u64 << 10),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 1 << 20),
+        Some('g') | Some('G') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().map(|v| v * mult).map_err(|_| format!("bad number '{s}'"))
+}
+
+/// Deterministic fill pattern for `write`.
+fn pattern(len: usize, seed: u64) -> Vec<u8> {
+    (0..len).map(|i| ((i as u64).wrapping_mul(seed | 1) >> 3) as u8).collect()
+}
+
+pub const HELP: &str = "\
+commands:
+  create <name> <raid0|raid1|raid5|hybrid> <unit>   create + select a file
+  open <name>                                       select an existing file
+  ls                                                list files
+  write <off> <len> [seed]                          write a deterministic pattern
+  writestr <off> <text...>                          write literal text
+  read <off> <len>                                  read and hex-dump
+  report                                            storage report (current file)
+  status                                            cluster/server status
+  fail <srv> | restore <srv> | rebuild <srv>        failure injection & recovery
+  scrub                                             verify parity/mirrors
+  compact                                           compact overflow logs (current file)
+  clean                                             run one cleaner pass (all files)
+  save <dir>                                        persist the whole cluster as JSON
+  help | quit";
+
+impl Session {
+    /// Start a session over a fresh cluster of `servers` I/O servers.
+    pub fn new(servers: u32) -> Self {
+        Self { cluster: Cluster::spawn(servers, Default::default()), files: HashMap::new(), current: None }
+    }
+
+    /// Start a session over a cluster reloaded from [`Cluster::save_to`]
+    /// state.
+    pub fn load(dir: &std::path::Path) -> Result<Self, String> {
+        let cluster = Cluster::load_from(dir, Default::default()).map_err(Self::err)?;
+        Ok(Self { cluster, files: HashMap::new(), current: None })
+    }
+
+    fn file(&self) -> Result<&File, String> {
+        let name = self.current.as_ref().ok_or("no file selected (create/open one first)")?;
+        Ok(&self.files[name])
+    }
+
+    fn err(e: CsarError) -> String {
+        format!("error: {e}")
+    }
+
+    /// Execute one command line.
+    pub fn run(&mut self, line: &str) -> Outcome {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let text = match self.dispatch(&words) {
+            Ok(Some(t)) => t,
+            Ok(None) => return Outcome::Quit,
+            Err(e) => e,
+        };
+        Outcome::Text(text)
+    }
+
+    fn dispatch(&mut self, words: &[&str]) -> Result<Option<String>, String> {
+        let Some(&cmd) = words.first() else { return Ok(Some(String::new())) };
+        match (cmd, &words[1..]) {
+            ("help", _) => Ok(Some(HELP.to_string())),
+            ("quit", _) | ("exit", _) => Ok(None),
+
+            ("create", [name, scheme, unit]) => {
+                let scheme = parse_scheme(scheme)?;
+                let unit = parse_size(unit)?;
+                let client = self.cluster.client();
+                let f = client.create(name, scheme, unit).map_err(Self::err)?;
+                self.files.insert(name.to_string(), f);
+                self.current = Some(name.to_string());
+                Ok(Some(format!("created '{name}' ({} @ {unit} B unit)", scheme.label())))
+            }
+            ("open", [name]) => {
+                let client = self.cluster.client();
+                let f = client.open(name).map_err(Self::err)?;
+                self.files.insert(name.to_string(), f);
+                self.current = Some(name.to_string());
+                Ok(Some(format!("selected '{name}'")))
+            }
+            ("ls", []) => {
+                let client = self.cluster.client();
+                let metas = client.list_files().map_err(Self::err)?;
+                if metas.is_empty() {
+                    return Ok(Some("(no files)".into()));
+                }
+                let mut out = String::new();
+                for m in metas {
+                    writeln!(
+                        out,
+                        "{:<20} {:>7} {:>8} B unit {:>12} B",
+                        m.name,
+                        m.scheme.label(),
+                        m.layout.stripe_unit,
+                        m.size
+                    )
+                    .unwrap();
+                }
+                Ok(Some(out.trim_end().to_string()))
+            }
+            ("write", [off, len]) | ("write", [off, len, _]) => {
+                let off = parse_size(off)?;
+                let len = parse_size(len)? as usize;
+                let seed = words.get(3).map(|s| parse_size(s)).transpose()?.unwrap_or(1);
+                let f = self.file()?;
+                f.write_at(off, &pattern(len, seed)).map_err(Self::err)?;
+                Ok(Some(format!("wrote {len} bytes at {off}")))
+            }
+            ("writestr", [off, ..]) if words.len() >= 3 => {
+                let off = parse_size(off)?;
+                let text = words[2..].join(" ");
+                let f = self.file()?;
+                f.write_at(off, text.as_bytes()).map_err(Self::err)?;
+                Ok(Some(format!("wrote {} bytes at {off}", text.len())))
+            }
+            ("read", [off, len]) => {
+                let off = parse_size(off)?;
+                let len = parse_size(len)?;
+                let f = self.file()?;
+                let data = f.read_at(off, len).map_err(Self::err)?;
+                Ok(Some(hexdump(off, &data)))
+            }
+            ("report", []) => {
+                let f = self.file()?;
+                let rep = f.storage_report().map_err(Self::err)?;
+                let a = rep.aggregate();
+                Ok(Some(format!(
+                    "data {} B | mirror {} B | parity {} B | overflow {} B | overflow-mirror {} B | total {} B",
+                    a.data, a.mirror, a.parity, a.overflow, a.overflow_mirror, a.total()
+                )))
+            }
+            ("status", rest @ ([] | ["-v"])) => {
+                let n = self.cluster.servers();
+                let failed = self.cluster.failed_server();
+                let mut out = format!("{n} I/O servers");
+                match failed {
+                    Some(s) => write!(out, "; server {s} DOWN").unwrap(),
+                    None => write!(out, "; all up").unwrap(),
+                }
+                if *rest == ["-v"] {
+                    writeln!(out).unwrap();
+                    writeln!(
+                        out,
+                        "{:>4} {:>10} {:>12} {:>12} {:>14}",
+                        "srv", "requests", "stored B", "lock waits", "disk reads B"
+                    )
+                    .unwrap();
+                    for srv in 0..n {
+                        let (reqs, stored, contended, dr) = self.cluster.with_server(srv, |s| {
+                            (
+                                s.stats.requests,
+                                s.stats.bytes_stored,
+                                s.lock_contention().0,
+                                s.stats.disk.disk_read_bytes,
+                            )
+                        });
+                        writeln!(out, "{srv:>4} {reqs:>10} {stored:>12} {contended:>12} {dr:>14}")
+                            .unwrap();
+                    }
+                    out.truncate(out.trim_end().len());
+                }
+                Ok(Some(out))
+            }
+            ("fail", [srv]) => {
+                let s: u32 = srv.parse().map_err(|_| format!("bad server '{srv}'"))?;
+                self.check_server(s)?;
+                self.cluster.fail_server(s);
+                Ok(Some(format!("server {s} failed (fail-stop)")))
+            }
+            ("restore", [srv]) => {
+                let s: u32 = srv.parse().map_err(|_| format!("bad server '{srv}'"))?;
+                self.check_server(s)?;
+                self.cluster.restore_server(s);
+                Ok(Some(format!("server {s} restored (contents intact)")))
+            }
+            ("rebuild", [srv]) => {
+                let s: u32 = srv.parse().map_err(|_| format!("bad server '{srv}'"))?;
+                self.check_server(s)?;
+                self.cluster.rebuild_server(s).map_err(Self::err)?;
+                Ok(Some(format!("server {s} rebuilt from redundancy")))
+            }
+            ("scrub", []) => {
+                let rep = self.cluster.scrub().map_err(Self::err)?;
+                Ok(Some(format!(
+                    "{} file(s), {} parity group(s) + {} mirror block(s) checked: {}",
+                    rep.files,
+                    rep.groups_checked,
+                    rep.mirrors_checked,
+                    if rep.is_clean() {
+                        "clean".to_string()
+                    } else {
+                        format!("{} bad group(s), {} bad mirror(s): {:?} {:?}",
+                            rep.bad_groups.len(), rep.bad_mirrors.len(), rep.bad_groups, rep.bad_mirrors)
+                    }
+                )))
+            }
+            ("compact", []) => {
+                let f = self.file()?;
+                f.compact_overflow().map_err(Self::err)?;
+                Ok(Some("overflow logs compacted".into()))
+            }
+            ("clean", []) => {
+                let reclaimed = self.cluster.clean_pass().map_err(Self::err)?;
+                Ok(Some(format!("cleaner pass reclaimed {reclaimed} bytes")))
+            }
+            ("save", [dir]) => {
+                self.cluster.save_to(std::path::Path::new(dir)).map_err(Self::err)?;
+                Ok(Some(format!("cluster state saved to {dir}")))
+            }
+            _ => Err(format!("bad command '{}' (try 'help')", words.join(" "))),
+        }
+    }
+
+    fn check_server(&self, s: u32) -> Result<(), String> {
+        if s >= self.cluster.servers() {
+            return Err(format!("server {s} out of range (0..{})", self.cluster.servers()));
+        }
+        Ok(())
+    }
+
+    /// Tear the cluster down.
+    pub fn shutdown(self) {
+        self.cluster.shutdown();
+    }
+}
+
+fn hexdump(base: u64, data: &[u8]) -> String {
+    let mut out = String::new();
+    for (i, chunk) in data.chunks(16).enumerate() {
+        write!(out, "{:08x}  ", base as usize + i * 16).unwrap();
+        for b in chunk {
+            write!(out, "{b:02x} ").unwrap();
+        }
+        for _ in chunk.len()..16 {
+            out.push_str("   ");
+        }
+        out.push(' ');
+        for b in chunk {
+            out.push(if b.is_ascii_graphic() || *b == b' ' { *b as char } else { '.' });
+        }
+        out.push('\n');
+        if i >= 31 {
+            writeln!(out, "... ({} more bytes)", data.len() - (i + 1) * 16).unwrap();
+            break;
+        }
+    }
+    out.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(o: Outcome) -> String {
+        match o {
+            Outcome::Text(t) => t,
+            Outcome::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let mut s = Session::new(4);
+        assert!(text(s.run("create demo hybrid 4k")).contains("Hybrid"));
+        text(s.run("writestr 0 hello csar"));
+        let dump = text(s.run("read 0 10"));
+        assert!(dump.contains("hello csar"), "{dump}");
+        s.shutdown();
+    }
+
+    #[test]
+    fn fail_read_rebuild_via_commands() {
+        let mut s = Session::new(4);
+        s.run("create f raid5 1k");
+        s.run("write 0 50000 7");
+        assert!(text(s.run("status")).contains("all up"));
+        text(s.run("fail 1"));
+        assert!(text(s.run("status")).contains("server 1 DOWN"));
+        // Degraded read still hex-dumps data.
+        let dump = text(s.run("read 0 32"));
+        assert!(dump.starts_with("00000000"));
+        assert!(text(s.run("rebuild 1")).contains("rebuilt"));
+        assert!(text(s.run("scrub")).contains("clean"));
+        s.shutdown();
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = Session::new(2);
+        assert!(text(s.run("read 0 1")).contains("no file selected"));
+        assert!(text(s.run("create f raid9 1k")).contains("unknown scheme"));
+        assert!(text(s.run("frobnicate")).contains("bad command"));
+        assert!(text(s.run("fail 9")).contains("out of range"));
+        assert!(text(s.run("open missing")).contains("error"));
+        s.shutdown();
+    }
+
+    #[test]
+    fn ls_report_compact_clean() {
+        let mut s = Session::new(4);
+        s.run("create a hybrid 1k");
+        s.run("create b raid1 2k");
+        let ls = text(s.run("ls"));
+        assert!(ls.contains('a') && ls.contains("Hybrid") && ls.contains("RAID1"));
+        s.run("open a");
+        s.run("write 0 8k");
+        s.run("write 100 50"); // overflowed partial
+        let rep = text(s.run("report"));
+        assert!(rep.contains("total"));
+        assert!(text(s.run("compact")).contains("compacted"));
+        let cleaned = text(s.run("clean"));
+        assert!(cleaned.contains("reclaimed"));
+        s.shutdown();
+    }
+
+    #[test]
+    fn save_and_load_between_sessions() {
+        let dir = std::env::temp_dir().join(format!("csar-ctl-save-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = Session::new(3);
+        s.run("create keep hybrid 2k");
+        s.run("writestr 0 durable bytes");
+        assert!(text(s.run(&format!("save {}", dir.display()))).contains("saved"));
+        s.shutdown();
+        let mut s2 = Session::load(&dir).unwrap();
+        s2.run("open keep");
+        let dump = text(s2.run("read 0 13"));
+        assert!(dump.contains("durable bytes"), "{dump}");
+        s2.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quit_terminates() {
+        let mut s = Session::new(2);
+        assert!(matches!(s.run("quit"), Outcome::Quit));
+    }
+
+    #[test]
+    fn size_suffixes_and_hexdump_truncation() {
+        assert_eq!(parse_size("4k").unwrap(), 4096);
+        assert_eq!(parse_size("2M").unwrap(), 2 << 20);
+        let dump = hexdump(0, &vec![0u8; 1024]);
+        assert!(dump.contains("more bytes"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # CSAR — Cluster Storage with Adaptive Redundancy
+//!
+//! A from-scratch Rust reproduction of *"A High Performance Redundancy
+//! Scheme for Cluster File Systems"* (Pillai & Lauria, IEEE CLUSTER
+//! 2003): a PVFS-style striped cluster file system with three
+//! redundancy schemes — RAID1 striped mirroring, RAID5 rotating parity
+//! with the paper's distributed parity-lock protocol, and the paper's
+//! contribution, the **Hybrid** scheme that picks mirroring or parity
+//! *per write*: whole parity groups take the RAID5 path, partial-group
+//! writes are mirrored into append-only overflow regions and migrate
+//! back to RAID5 form when a later full-group write invalidates them.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`parity`] | XOR kernels (byte/word/unrolled/parallel), parity accumulate/update/reconstruct |
+//! | [`store`] | sparse files, payloads (real or phantom), page-cache model, §5.2 write buffer, storage accounting |
+//! | [`core`] | layout math, wire protocol, client write/read drivers, I/O-server and manager engines, parity locks, overflow tables, recovery planning |
+//! | [`cluster`] | live threaded deployment: blocking client API, failure injection, degraded reads, rebuild |
+//! | [`sim`] | deterministic discrete-event performance model (NIC/CPU/disk/page cache) driving the same engines |
+//! | [`workloads`] | the paper's benchmark workloads: microbenchmarks, ROMIO perf, NAS BTIO, FLASH I/O, Cactus BenchIO, Hartree-Fock |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use csar::cluster::Cluster;
+//! use csar::core::proto::Scheme;
+//!
+//! let cluster = Cluster::spawn(4, Default::default());
+//! let client = cluster.client();
+//! let file = client.create("data", Scheme::Hybrid, 64 * 1024).unwrap();
+//! file.write_at(0, b"redundant bytes").unwrap();
+//!
+//! // Survive a server failure: reads reconstruct transparently.
+//! cluster.fail_server(1);
+//! assert_eq!(file.read_at(0, 15).unwrap(), b"redundant bytes");
+//! cluster.rebuild_server(1).unwrap();
+//! cluster.shutdown();
+//! ```
+//!
+//! See `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub mod ctl;
+
+pub use csar_cluster as cluster;
+pub use csar_core as core;
+pub use csar_parity as parity;
+pub use csar_sim as sim;
+pub use csar_store as store;
+pub use csar_workloads as workloads;

@@ -1,0 +1,45 @@
+//! End-to-end smoke test of the `csar-ctl` binary in scripted (-c) mode.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_csar-ctl")).args(args).output().expect("spawn");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn scripted_session_covers_the_lifecycle() {
+    let (ok, stdout, _) = run(&[
+        "--servers",
+        "4",
+        "-c",
+        "create demo hybrid 16k; writestr 0 the quick brown fox; fail 2; read 4 5; \
+         rebuild 2; scrub; report; status -v; ls",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("created 'demo'"));
+    assert!(stdout.contains("quick"), "degraded hexdump shows the data:\n{stdout}");
+    assert!(stdout.contains("rebuilt from redundancy"));
+    assert!(stdout.contains("clean"));
+    assert!(stdout.contains("Hybrid"));
+    assert!(stdout.contains("lock waits"), "verbose status table present");
+}
+
+#[test]
+fn bad_commands_do_not_kill_the_session() {
+    let (ok, stdout, _) = run(&["-c", "frobnicate; create x raid1 1k; writestr 0 ok; read 0 2"]);
+    assert!(ok);
+    assert!(stdout.contains("bad command"));
+    assert!(stdout.contains("created 'x'"));
+}
+
+#[test]
+fn bad_flags_exit_nonzero() {
+    let (ok, _, stderr) = run(&["--servers"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}

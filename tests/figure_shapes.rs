@@ -1,0 +1,430 @@
+//! Shape tests: every figure and table of the paper, asserted
+//! mechanically at reduced scale.
+//!
+//! The simulator is not expected to match the paper's absolute MB/s (its
+//! substrate is a calibrated model, not the authors' testbed), but the
+//! *shapes* — which scheme wins, by roughly what factor, where the
+//! crossovers fall — are the reproduction target. Each test names the
+//! paper claim it pins. `EXPERIMENTS.md` records the full-scale numbers.
+
+use csar_bench::figures::{self, series, FigOpts};
+
+fn opts(scale: f64) -> FigOpts {
+    FigOpts { scale }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — "locking adds about 20% overhead"
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig3_locking_overhead_is_measurable_but_bounded() {
+    let rows = figures::fig3(&opts(0.15));
+    let get = |label: &str| {
+        rows.iter().find(|(l, _)| l == label).map(|(_, v)| *v).expect("missing row")
+    };
+    let raid0 = get("RAID0");
+    let nolock = get("R5-NOLOCK");
+    let locked = get("RAID5");
+    // RAID0 (no RMW at all) is far above both RAID5 variants.
+    assert!(raid0 > 2.0 * nolock, "raid0 {raid0} vs nolock {nolock}");
+    // Locking costs something…
+    assert!(locked < nolock, "locking must cost: {locked} vs {nolock}");
+    // …but not everything (paper: ~20%; we land within 5–60%).
+    let overhead = 1.0 - locked / nolock;
+    assert!(
+        (0.05..0.60).contains(&overhead),
+        "locking overhead {overhead:.2} out of plausible range"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4(a) — full-stripe writes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig4a_full_stripe_shapes() {
+    let all = figures::fig4a(&opts(0.15));
+    let raid0 = series(&all, "RAID0");
+    let raid1 = series(&all, "RAID1");
+    let raid5 = series(&all, "RAID5");
+    let npc = series(&all, "RAID5-npc");
+    let hybrid = series(&all, "Hybrid");
+
+    // RAID0 scales with servers (paper: still rising at 7).
+    assert!(raid0.last() > 2.0 * raid0.at(1.0).unwrap(), "RAID0 must scale with servers");
+    // RAID1 ≈ half of RAID0 and the worst of all schemes ("RAID1 has the
+    // worst performance of all the schemes").
+    for n in [4.0, 5.0, 6.0, 7.0] {
+        let r1 = raid1.at(n).unwrap();
+        let r0 = raid0.at(n).unwrap();
+        assert!(r1 < 0.65 * r0, "n={n}: RAID1 {r1} should be ≈half of RAID0 {r0}");
+        assert!(r1 < raid5.at(n).unwrap(), "n={n}: RAID1 worst");
+        assert!(r1 < hybrid.at(n).unwrap(), "n={n}: RAID1 worst");
+    }
+    // RAID1 flattens early ("no significant increase beyond 4 I/O
+    // servers"): 4→7 gains little while RAID0 is still growing there.
+    let r1_gain = raid1.at(7.0).unwrap() / raid1.at(4.0).unwrap();
+    assert!(r1_gain < 1.35, "RAID1 should flatten after 4 servers, gain {r1_gain:.2}");
+
+    // Full-stripe writes: Hybrid behaves exactly like RAID5 ("for this
+    // workload, the Hybrid scheme has the same behavior as RAID5").
+    for n in [2.0, 4.0, 7.0] {
+        let h = hybrid.at(n).unwrap();
+        let r5 = raid5.at(n).unwrap();
+        assert!((h - r5).abs() / r5 < 0.03, "n={n}: Hybrid {h} == RAID5 {r5}");
+    }
+
+    // CSAR ≈ 73% of PVFS at 7 servers (abstract); accept 0.6–0.9.
+    let ratio = raid5.at(7.0).unwrap() / raid0.at(7.0).unwrap();
+    assert!((0.60..0.90).contains(&ratio), "RAID5/RAID0 at 7 servers = {ratio:.2}");
+
+    // Parity computation costs a modest fraction ("a modest 8%").
+    let pc = 1.0 - raid5.at(7.0).unwrap() / npc.at(7.0).unwrap();
+    assert!((0.02..0.20).contains(&pc), "parity-compute cost {pc:.2}");
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4(b) — one-block writes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig4b_small_write_shapes() {
+    let all = figures::fig4b(&opts(0.15));
+    let raid1 = series(&all, "RAID1");
+    let raid5 = series(&all, "RAID5");
+    let hybrid = series(&all, "Hybrid");
+    for n in [3.0, 5.0, 7.0] {
+        let r1 = raid1.at(n).unwrap();
+        let hy = hybrid.at(n).unwrap();
+        let r5 = raid5.at(n).unwrap();
+        // "the bandwidth observed for the RAID1 and the Hybrid schemes
+        // are identical, while the RAID5 bandwidth is lower."
+        assert!((r1 - hy).abs() / r1 < 0.02, "n={n}: RAID1 {r1} == Hybrid {hy}");
+        assert!(r5 < 0.6 * r1, "n={n}: RAID5 {r5} well below RAID1 {r1}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — ROMIO perf
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig5_perf_shapes() {
+    let (read, write) = figures::fig5(&opts(0.2));
+    // (a) "All the schemes had similar performance for read."
+    for x in [2.0, 8.0, 16.0] {
+        let vals: Vec<f64> = read.iter().map(|s| s.at(x).unwrap()).collect();
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 1.20, "clients={x}: read spread {min}..{max} too wide");
+    }
+    // (b) "The write performance of the RAID5 and the Hybrid schemes …
+    // are better than RAID1 in this case because the benchmark consists
+    // of large writes."
+    let raid1 = series(&write, "RAID1");
+    let raid5 = series(&write, "RAID5");
+    let hybrid = series(&write, "Hybrid");
+    let raid0 = series(&write, "RAID0");
+    for x in [4.0, 8.0, 16.0] {
+        let r1 = raid1.at(x).unwrap();
+        assert!(raid5.at(x).unwrap() > 1.15 * r1, "clients={x}: RAID5 beats RAID1");
+        assert!(hybrid.at(x).unwrap() > 1.15 * r1, "clients={x}: Hybrid beats RAID1");
+        assert!(raid0.at(x).unwrap() >= raid5.at(x).unwrap(), "clients={x}: RAID0 on top");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — BTIO Class B
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig6_btio_class_b_shapes() {
+    // 0.25 keeps enough checkpoint dumps for the dirty backlog and lock
+    // contention to build up the way the full run does.
+    let fig = figures::fig6(&opts(0.25));
+    let init_r5 = series(&fig.initial, "RAID5");
+    let init_nolock = series(&fig.initial, "R5-NOLOCK");
+    let init_hy = series(&fig.initial, "Hybrid");
+    let init_r1 = series(&fig.initial, "RAID1");
+
+    // (a) RAID5 and Hybrid both beat RAID1 at low process counts.
+    for p in [4.0, 9.0] {
+        assert!(init_r5.at(p).unwrap() > init_r1.at(p).unwrap(), "procs={p}");
+        assert!(init_hy.at(p).unwrap() > init_r1.at(p).unwrap(), "procs={p}");
+    }
+    // RAID5 "drops dramatically" at 25 processes…
+    let drop = init_r5.at(25.0).unwrap() / init_r5.at(4.0).unwrap();
+    assert!(drop < 0.65, "RAID5 initial-write should collapse by 25 procs: {drop:.2}");
+    // …and "most of the drop … is due to the synchronization overhead":
+    // the no-lock variant stays far above at 25.
+    assert!(
+        init_nolock.at(25.0).unwrap() > 1.5 * init_r5.at(25.0).unwrap(),
+        "the 25-proc drop must be lock-induced"
+    );
+    // Hybrid does not collapse.
+    assert!(init_hy.at(25.0).unwrap() > 0.6 * init_hy.at(4.0).unwrap());
+
+    // (b) Overwrite of an uncached file: RAID5 falls "much below" the
+    // others; the others drop only slightly.
+    let over_r5 = series(&fig.overwrite, "RAID5");
+    let over_hy = series(&fig.overwrite, "Hybrid");
+    let over_r0 = series(&fig.overwrite, "RAID0");
+    let over_r1 = series(&fig.overwrite, "RAID1");
+    for p in [16.0, 25.0] {
+        assert!(
+            over_r5.at(p).unwrap() < 0.55 * over_hy.at(p).unwrap(),
+            "procs={p}: RAID5 overwrite must be far below Hybrid"
+        );
+    }
+    // And already visibly behind at 9 processes.
+    assert!(over_r5.at(9.0).unwrap() < 0.8 * over_hy.at(9.0).unwrap());
+    // Slight drop only for RAID0/RAID1/Hybrid.
+    assert!(over_r0.at(9.0).unwrap() > 0.9 * series(&fig.initial, "RAID0").at(9.0).unwrap());
+    assert!(over_r1.at(9.0).unwrap() > 0.9 * init_r1.at(9.0).unwrap());
+    assert!(over_hy.at(9.0).unwrap() > 0.85 * init_hy.at(9.0).unwrap());
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — BTIO Class C
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig7_btio_class_c_shapes() {
+    let fig = figures::fig7(&opts(0.25));
+    let init_r1 = series(&fig.initial, "RAID1");
+    let init_r5 = series(&fig.initial, "RAID5");
+    let init_hy = series(&fig.initial, "Hybrid");
+    let init_nolock = series(&fig.initial, "R5-NOLOCK");
+
+    // (a) "The performance of RAID-1 is seen to be much lower than the
+    // other two redundancy schemes" — server caches overflow at 2× data.
+    for p in [9.0, 16.0, 25.0] {
+        assert!(
+            init_r1.at(p).unwrap() < 0.65 * init_hy.at(p).unwrap(),
+            "procs={p}: RAID1 must collapse for Class C"
+        );
+        assert!(init_r1.at(p).unwrap() < 0.65 * init_r5.at(p).unwrap(), "procs={p}");
+    }
+    // "The effect of the locking overhead in RAID-5 is less significant
+    // for this benchmark."
+    let lock_gap = 1.0 - init_r5.at(16.0).unwrap() / init_nolock.at(16.0).unwrap();
+    assert!(lock_gap < 0.25, "Class C locking effect should be small: {lock_gap:.2}");
+
+    // (b) Overwrite: "the bandwidth for Hybrid is about 230% of the
+    // other two redundancy schemes". Our RAID5 pays a milder overwrite
+    // penalty than the paper's (see EXPERIMENTS.md), so the asserted
+    // margins are 1.5× over RAID1 and 1.2× over RAID5 at 25 processes,
+    // plus a visible RAID5 initial→overwrite drop.
+    let over_r1 = series(&fig.overwrite, "RAID1");
+    let over_r5 = series(&fig.overwrite, "RAID5");
+    let over_hy = series(&fig.overwrite, "Hybrid");
+    let hy = over_hy.at(25.0).unwrap();
+    assert!(hy > 1.2 * over_r5.at(25.0).unwrap(), "Hybrid beats RAID5 overwrite");
+    assert!(hy > 1.5 * over_r1.at(25.0).unwrap(), "Hybrid ≫ RAID1 overwrite");
+    assert!(
+        over_r5.at(25.0).unwrap() < 0.9 * init_r5.at(25.0).unwrap(),
+        "RAID5 must drop from initial to overwrite"
+    );
+    // Hybrid barely drops.
+    assert!(hy > 0.9 * init_hy.at(25.0).unwrap());
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8 — application output time
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig8_application_shapes() {
+    let rows = figures::fig8(&opts(0.15));
+    let row = |name: &str| rows.iter().find(|r| r.app == name).expect("missing app");
+
+    // FLASH: small requests — Hybrid tracks RAID1 exactly; RAID5 suffers.
+    let flash = row("FLASH I/O");
+    assert!((flash.time("Hybrid") - flash.time("RAID1")).abs() < 0.15);
+    assert!(flash.time("RAID5") > 1.4 * flash.time("Hybrid"));
+
+    // Hartree-Fock through the kernel module: "the four execution times
+    // are not significantly different" (paper: within ~5%; we allow 25%).
+    let hf = row("Hartree-Fock");
+    for scheme in ["RAID1", "RAID5", "Hybrid"] {
+        let t = hf.time(scheme);
+        assert!(t < 1.25, "HF {scheme} normalised time {t} should level out");
+    }
+
+    // Large-chunk apps: Hybrid clearly beats RAID1 (which pays 2×).
+    for app in ["Cactus", "BTIO-B"] {
+        let r = row(app);
+        assert!(r.time("Hybrid") < 0.9 * r.time("RAID1"), "{app}: Hybrid beats RAID1");
+        // Hybrid within 40% of the best scheme (the paper's "comparable
+        // or better than the best" claim, loosened: our initial-write
+        // RMW reads are nearly free, which flatters RAID5 — see
+        // EXPERIMENTS.md).
+        let best = r.time("RAID1").min(r.time("RAID5"));
+        assert!(r.time("Hybrid") < 1.4 * best, "{app}: Hybrid near the best");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — storage requirement
+// ---------------------------------------------------------------------------
+
+#[test]
+fn table2_storage_shapes() {
+    let rows = figures::table2(&opts(0.15));
+    let row = |name: &str| rows.iter().find(|r| r.benchmark == name).expect("missing row");
+
+    for r in &rows {
+        let raid0 = r.total("RAID0") as f64;
+        let raid1 = r.total("RAID1") as f64;
+        let raid5 = r.total("RAID5") as f64;
+        let hybrid = r.total("Hybrid") as f64;
+        // RAID1 stores exactly 2×; RAID5 on 6 servers ≈ 1.2× (slightly
+        // more when phase subsampling leaves holes, whose edge groups
+        // carry parity for partially-covered stripes).
+        assert!((raid1 / raid0 - 2.0).abs() < 0.01, "{}: RAID1 2x", r.benchmark);
+        assert!(
+            (1.18..1.35).contains(&(raid5 / raid0)),
+            "{}: RAID5 ≈ 1.2x, got {:.3}",
+            r.benchmark,
+            raid5 / raid0
+        );
+        // Hybrid never beats RAID5's parsimony.
+        assert!(hybrid >= raid5 * 0.999, "{}: Hybrid ≥ RAID5", r.benchmark);
+    }
+
+    // "For these benchmarks, the storage used by the Hybrid scheme is
+    // generally close to RAID5, and much less than RAID1" — the bulk
+    // writers.
+    for name in ["BTIO Class B", "BTIO Class C", "CACTUS/BenchIO"] {
+        let r = row(name);
+        assert!(
+            (r.total("Hybrid") as f64) < 0.85 * r.total("RAID1") as f64,
+            "{name}: Hybrid well below RAID1"
+        );
+    }
+
+    // "For the 64KB stripe unit results, the Hybrid scheme had a larger
+    // storage requirement than RAID1. For the 16KB cases, the Hybrid
+    // scheme needed less storage." — the paper's stripe-unit crossover.
+    for procs in ["4", "24"] {
+        let k16 = row(&format!("FLASH ({procs} proc, 16K)"));
+        let k64 = row(&format!("FLASH ({procs} proc, 64K)"));
+        assert!(
+            k16.total("Hybrid") < k16.total("RAID1"),
+            "FLASH {procs}p @16K: Hybrid below RAID1"
+        );
+        assert!(
+            k64.total("Hybrid") as f64 >= 0.98 * k64.total("RAID1") as f64,
+            "FLASH {procs}p @64K: Hybrid at or above RAID1"
+        );
+        assert!(k64.total("Hybrid") > k16.total("Hybrid"), "larger unit wastes more overflow");
+    }
+
+    // Hartree-Fock: 16 KB sequential writes — pure mirroring, Hybrid ≈
+    // RAID1 (paper: 299 vs 298 MB).
+    let hf = row("Hartree-Fock");
+    let ratio = hf.total("Hybrid") as f64 / hf.total("RAID1") as f64;
+    assert!((ratio - 1.0).abs() < 0.02, "HF: Hybrid ≈ RAID1, got {ratio:.3}");
+}
+
+// ---------------------------------------------------------------------------
+// Extensions — degraded reads, stripe-unit sweep, rebuild cost
+// ---------------------------------------------------------------------------
+
+#[test]
+fn extension_degraded_reads_cost_ordering() {
+    let rows = csar_bench::extensions::degraded_reads(&opts(0.2));
+    let get = |label: &str| rows.iter().find(|r| r.scheme == label).expect("row");
+    for r in &rows {
+        assert!(r.degraded_mbps > 0.0 && r.degraded_mbps < r.healthy_mbps, "{}", r.scheme);
+    }
+    // Mirror fetch (one extra hop) is cheaper than parity reconstruction
+    // (n−2 peer reads + parity per lost block).
+    assert!(get("RAID1").degraded_mbps > get("RAID5").degraded_mbps);
+    // Degradation stays graceful: better than half speed.
+    for r in &rows {
+        assert!(r.degraded_mbps > 0.5 * r.healthy_mbps, "{} degrades too hard", r.scheme);
+    }
+}
+
+#[test]
+fn extension_stripe_unit_sweep_shapes() {
+    let rows = csar_bench::extensions::stripe_unit_sweep(&opts(0.2));
+    // Larger units push more of the FLASH mix through the overflow path…
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].overflow_fraction >= pair[0].overflow_fraction - 1e-9,
+            "overflow fraction must grow with the unit"
+        );
+    }
+    // …and storage expansion approaches mirroring (2×) at large units
+    // while staying parity-like at small ones (Table 2's crossover,
+    // generalised).
+    assert!(rows.first().unwrap().expansion < 1.6);
+    assert!(rows.last().unwrap().expansion > 1.9);
+}
+
+#[test]
+fn extension_rebuild_cost_per_scheme() {
+    let rows = csar_bench::extensions::rebuild_cost(&opts(0.5));
+    let get = |label: &str| rows.iter().find(|r| r.scheme == label).expect("row");
+    // RAID1 restores the lost data blocks AND the lost mirror blocks:
+    // about 2 × file/n. Parity schemes restore data + parity slots:
+    // about file/n + file/(n(n−1)) — cheaper.
+    let r1 = get("RAID1");
+    let r5 = get("RAID5");
+    assert!(r1.restored_bytes > r5.restored_bytes, "RAID1 rebuild moves more bytes");
+    // All schemes restore at least the lost data share (file / 4 servers).
+    for r in &rows {
+        assert!(r.restored_bytes as f64 >= r.file_bytes as f64 / 4.0 * 0.9, "{}", r.scheme);
+    }
+}
+
+#[test]
+fn extension_write_size_sweep_hybrid_is_best_of_both_worlds() {
+    // The abstract's claim, swept across access sizes: "our hybrid
+    // scheme consistently achieves the best of two worlds — RAID1
+    // performance on small writes, and RAID5 efficiency on large
+    // writes."
+    let rows = csar_bench::extensions::write_size_sweep(&opts(0.25));
+    for r in &rows {
+        let best = r.of("RAID1").max(r.of("RAID5"));
+        assert!(
+            r.of("Hybrid") >= 0.95 * best,
+            "size {}: Hybrid {} must match the best of RAID1 {} / RAID5 {}",
+            r.write_size,
+            r.of("Hybrid"),
+            r.of("RAID1"),
+            r.of("RAID5"),
+        );
+    }
+    // Small writes: Hybrid ≡ RAID1 while RAID5 trails badly.
+    let small = &rows[0];
+    assert!((small.of("Hybrid") - small.of("RAID1")).abs() < 0.02 * small.of("RAID1"));
+    assert!(small.of("RAID5") < 0.6 * small.of("Hybrid"));
+    // Large writes: Hybrid clearly above RAID1.
+    let large = rows.last().unwrap();
+    assert!(large.of("Hybrid") > 1.2 * large.of("RAID1"));
+}
+
+#[test]
+fn extension_write_buffering_ablation_matches_section_5_2() {
+    let rows = csar_bench::extensions::write_buffering_ablation(&opts(0.2));
+    let get = |label: &str| rows.iter().find(|r| r.scheme == label).expect("row");
+    for r in &rows {
+        // Buffering rescues overwrite bandwidth; padding never hurts.
+        assert!(r.unbuffered < 0.6 * r.buffered, "{}: unbuffered must collapse", r.scheme);
+        assert!(r.padded >= r.buffered - 0.02, "{}: padding never hurts", r.scheme);
+    }
+    // "For the RAID-0, RAID-1 and Hybrid case, [padding] resulted in
+    // about the same bandwidth for the initial write and the overwrite."
+    for scheme in ["RAID0", "RAID1", "Hybrid"] {
+        assert!(get(scheme).padded > 0.93, "{scheme}: padded overwrite ≈ initial");
+    }
+    // "for RAID-5, padding the partial block writes did not have any
+    // effect" — the RMW pre-reads already cached the blocks.
+    let r5 = get("RAID5");
+    assert!((r5.padded - r5.buffered).abs() < 0.05, "RAID5: padding is a no-op");
+    assert!(r5.buffered < 0.9, "RAID5 overwrite drop persists regardless of padding");
+}
