@@ -1,0 +1,113 @@
+//! `analysis.toml` — per-rule allowlists for the lint pass.
+//!
+//! A deliberately tiny TOML subset, read without external crates:
+//! `[lint.<rule>]` section headers and single-line string arrays
+//! (`allow = ["path", "path:line"]`). Anything else in the file is
+//! rejected loudly so typos cannot silently disable a rule.
+
+use std::collections::HashMap;
+
+/// Parsed allowlists: rule name → allowed `path` / `path:line` entries.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    allow: HashMap<String, Vec<String>>,
+}
+
+impl Config {
+    /// Parse the config text. Unknown keys or malformed lines are errors.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let rule = name
+                    .strip_prefix("lint.")
+                    .ok_or_else(|| format!("line {lineno}: section [{name}] is not [lint.<rule>]"))?;
+                section = Some(rule.to_string());
+                cfg.allow.entry(rule.to_string()).or_default();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {lineno}: expected `key = value`"));
+            };
+            if key.trim() != "allow" {
+                return Err(format!("line {lineno}: unknown key `{}`", key.trim()));
+            }
+            let Some(rule) = &section else {
+                return Err(format!("line {lineno}: `allow` outside a [lint.<rule>] section"));
+            };
+            let entries = parse_string_array(value.trim())
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+            cfg.allow.get_mut(rule).expect("section registered").extend(entries);
+        }
+        Ok(cfg)
+    }
+
+    /// Is `path:line` allowlisted for `rule`? Entries match either the
+    /// exact `path:line` or the bare path (whole-file waiver).
+    pub fn is_allowed(&self, rule: &str, path: &str, line: usize) -> bool {
+        let exact = format!("{path}:{line}");
+        self.allow
+            .get(rule)
+            .is_some_and(|list| list.iter().any(|e| e == path || *e == exact))
+    }
+}
+
+/// Parse `["a", "b"]` (single line, double-quoted, no escapes needed for
+/// the path-like entries this file holds).
+fn parse_string_array(s: &str) -> Result<Vec<String>, String> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a [\"...\"] array, got `{s}`"))?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| {
+            let item = item.trim();
+            item.strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .map(str::to_string)
+                .ok_or_else(|| format!("expected a quoted string, got `{item}`"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let cfg = Config::parse(
+            "# comment\n[lint.unsafe-safety]\nallow = [\"a/b.rs\", \"c.rs:7\"]\n\n[lint.todo]\nallow = []\n",
+        )
+        .unwrap();
+        assert!(cfg.is_allowed("unsafe-safety", "a/b.rs", 99));
+        assert!(cfg.is_allowed("unsafe-safety", "c.rs", 7));
+        assert!(!cfg.is_allowed("unsafe-safety", "c.rs", 8));
+        assert!(!cfg.is_allowed("todo", "a/b.rs", 1));
+    }
+
+    #[test]
+    fn rejects_unknown_shapes() {
+        assert!(Config::parse("[other.rule]\n").is_err());
+        assert!(Config::parse("[lint.x]\nban = []\n").is_err());
+        assert!(Config::parse("allow = []\n").is_err());
+        assert!(Config::parse("[lint.x]\nallow = [3]\n").is_err());
+    }
+
+    #[test]
+    fn unknown_rule_is_never_allowed() {
+        let cfg = Config::parse("").unwrap();
+        assert!(!cfg.is_allowed("unsafe-safety", "x.rs", 1));
+    }
+}

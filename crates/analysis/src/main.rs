@@ -1,0 +1,158 @@
+//! `csar-analysis` — first-party static analysis and model checking.
+//!
+//! ```text
+//! csar-analysis lint  [--root DIR] [--config FILE] [--json]
+//! csar-analysis check [--max N] [--json]
+//! ```
+//!
+//! `lint` walks the workspace sources enforcing the CSAR conventions
+//! (SAFETY-commented `unsafe`, panic-free request paths, the §5.1
+//! ascending lock-order guard) with allowlists from `analysis.toml`;
+//! `check` exhaustively model-checks the parity-lock protocol. Both
+//! exit non-zero on violations, so `scripts/tier1.sh` can gate on them.
+
+mod config;
+mod lint;
+mod model;
+
+use config::Config;
+use csar_store::Json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage("missing subcommand");
+    };
+    match cmd.as_str() {
+        "lint" => cmd_lint(rest),
+        "check" => cmd_check(rest),
+        other => usage(&format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: csar-analysis lint [--root DIR] [--config FILE] [--json]");
+    eprintln!("       csar-analysis check [--max N] [--json]");
+    ExitCode::from(2)
+}
+
+/// Load `path`, or the default `<root>/analysis.toml` (absence of the
+/// default is fine; an unreadable explicit path is not).
+fn load_config(root: &std::path::Path, path: Option<PathBuf>) -> Result<Config, String> {
+    let (p, required) = match path {
+        Some(p) => (p, true),
+        None => (root.join("analysis.toml"), false),
+    };
+    match std::fs::read_to_string(&p) {
+        Ok(text) => Config::parse(&text).map_err(|e| format!("{}: {e}", p.display())),
+        Err(e) if required => Err(format!("read {}: {e}", p.display())),
+        Err(_) => Ok(Config::default()),
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--config" => match it.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a value"),
+            },
+            "--json" => json = true,
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    let cfg = match load_config(&root, config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint::run(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.to_json().to_pretty());
+    } else {
+        for v in &report.violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        println!(
+            "lint: {} file(s), {} violation(s), {} TODO/FIXME note(s)",
+            report.files_scanned,
+            report.violations.len(),
+            report.todos.len()
+        );
+        for t in &report.todos {
+            println!("  note: {}:{}: {}", t.file, t.line, t.text);
+        }
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut max: u64 = 2_000_000;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--max" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max = v,
+                None => return usage("--max needs an integer value"),
+            },
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    let reports: Vec<model::ScenarioReport> =
+        model::suite().iter().map(|s| model::explore(s, max)).collect();
+    let all_ok = reports.iter().all(|r| r.ok);
+    let total: u64 = reports.iter().map(|r| r.interleavings).sum();
+    if json {
+        let doc = Json::obj([
+            ("ok", Json::from(all_ok)),
+            ("total_interleavings", Json::from(total)),
+            ("scenarios", Json::Arr(reports.iter().map(model::report_json).collect())),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        for r in &reports {
+            let verdict = if r.ok { "ok" } else { "FAIL" };
+            let note = if r.truncated { "  (truncated by --max)" } else { "" };
+            println!(
+                "check: {:<38} {:>8} interleavings  {} violation(s)  [{verdict}]{note}",
+                r.name,
+                r.interleavings,
+                r.violations.len()
+            );
+            for v in &r.violations {
+                println!("    {}: {} (schedule {:?})", v.property, v.detail, v.schedule);
+            }
+        }
+        println!("check: {total} interleavings across {} scenario(s)", reports.len());
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

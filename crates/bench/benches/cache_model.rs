@@ -2,6 +2,7 @@
 //! the simulator's innermost loop (every byte of every simulated write
 //! passes through it), so it has to stay cheap.
 
+use csar_bench::crit as criterion;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use csar_store::{CacheModel, StreamKind};
 use std::hint::black_box;

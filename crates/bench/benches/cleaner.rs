@@ -4,6 +4,7 @@
 //! as the RAID5 scheme"). Measures the server-side compaction pass and
 //! the end-to-end rewrite path on the live cluster.
 
+use csar_bench::crit as criterion;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use csar_cluster::Cluster;
 use csar_core::proto::{ReqHeader, Request, Scheme};

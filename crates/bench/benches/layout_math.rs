@@ -1,6 +1,7 @@
 //! Striping / parity-group arithmetic throughput: the per-request planning
 //! cost every CSAR client pays.
 
+use csar_bench::crit as criterion;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use csar_core::Layout;
 use std::hint::black_box;

@@ -1,6 +1,7 @@
 //! Parity-lock table throughput (§5.1): uncontended acquire/release,
 //! contended FIFO hand-off chains, and many-key workloads.
 
+use csar_bench::crit as criterion;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use csar_core::locks::ParityLockTable;
 use std::hint::black_box;

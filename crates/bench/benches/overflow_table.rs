@@ -1,6 +1,7 @@
 //! Overflow-table operations (the Hybrid scheme's per-partial-write
 //! bookkeeping): insert, lookup, invalidate, and fragmented-table scans.
 
+use csar_bench::crit as criterion;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use csar_core::overflow::OverflowTable;
 use std::hint::black_box;

@@ -2,8 +2,9 @@
 //! instead of one byte at a time significantly improved the performance
 //! of the RAID5 and Hybrid schemes" (§3). The kernel ladder goes
 //! byte-wise → u64 word-wise → 64-byte unrolled/vectorised →
-//! rayon-parallel.
+//! thread-parallel (std::thread::scope).
 
+use csar_bench::crit as criterion;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use csar_parity::{
     parity_of, reconstruct, xor_into_bytewise, xor_into_parallel, xor_into_unrolled,
@@ -35,7 +36,7 @@ fn bench_kernels(c: &mut Criterion) {
             bch.iter(|| xor_into_unrolled(black_box(&mut dst), black_box(&src)));
         });
         if size >= 1 << 20 {
-            group.bench_with_input(BenchmarkId::new("rayon", size), &size, |bch, _| {
+            group.bench_with_input(BenchmarkId::new("parallel", size), &size, |bch, _| {
                 let mut dst = base.clone();
                 bch.iter(|| xor_into_parallel(black_box(&mut dst), black_box(&src)));
             });

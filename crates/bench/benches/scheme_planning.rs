@@ -3,6 +3,7 @@
 //! instantly-answering servers. Isolates CSAR's client-side CPU overhead
 //! from network/disk time.
 
+use csar_bench::crit as criterion;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use csar_core::client::{run_driver, WriteDriver};
 use csar_core::manager::FileMeta;

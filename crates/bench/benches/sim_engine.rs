@@ -3,6 +3,7 @@
 //! run. Keeping this fast is what lets the `figures` binary regenerate
 //! the paper's full evaluation in minutes.
 
+use csar_bench::crit as criterion;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use csar_core::proto::Scheme;
 use csar_sim::{HwProfile, Op, SimCluster};

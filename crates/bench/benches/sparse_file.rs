@@ -1,6 +1,7 @@
 //! Sparse-file (extent map) operations: the local-storage substrate every
 //! I/O server write and read goes through.
 
+use csar_bench::crit as criterion;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use csar_store::{Payload, SparseFile};
 use std::hint::black_box;

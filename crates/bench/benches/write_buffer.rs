@@ -2,6 +2,7 @@
 //! block-aligned flushes, across the chunk sizes non-blocking receives
 //! actually deliver.
 
+use csar_bench::crit as criterion;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use csar_store::{Payload, WriteBuffer};
 use std::hint::black_box;

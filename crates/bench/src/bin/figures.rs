@@ -11,26 +11,47 @@
 use csar_bench::figures::{self, FigOpts};
 use csar_bench::harness::render_table;
 use csar_bench::trends;
-use serde_json::json;
+use csar_store::Json;
 use std::cell::RefCell;
 
 // Collected machine-readable results for --json.
 thread_local! {
-    static JSON_OUT: RefCell<serde_json::Map<String, serde_json::Value>> =
-        RefCell::new(serde_json::Map::new());
+    static JSON_OUT: RefCell<Vec<(String, Json)>> = RefCell::new(Vec::new());
 }
 
-fn record(key: &str, value: serde_json::Value) {
+fn record(key: &str, value: Json) {
     JSON_OUT.with(|m| {
-        m.borrow_mut().insert(key.to_string(), value);
+        let mut out = m.borrow_mut();
+        match out.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => out.push((key.to_string(), value)),
+        }
     });
 }
 
-fn series_json(series: &[csar_bench::Series]) -> serde_json::Value {
-    json!(series
-        .iter()
-        .map(|s| json!({ "label": s.label, "points": s.points }))
-        .collect::<Vec<_>>())
+/// `(label, number)` rows as `[[label, n], ...]`, matching the layout
+/// serde_json gave Rust tuples.
+fn pairs_json<T: Copy + Into<Json>>(rows: &[(String, T)]) -> Json {
+    Json::Arr(
+        rows.iter().map(|(l, v)| Json::Arr(vec![Json::from(l.as_str()), (*v).into()])).collect(),
+    )
+}
+
+fn series_json(series: &[csar_bench::Series]) -> Json {
+    Json::Arr(
+        series
+            .iter()
+            .map(|s| {
+                let points = Json::Arr(
+                    s.points
+                        .iter()
+                        .map(|&(x, y)| Json::Arr(vec![Json::from(x), Json::from(y)]))
+                        .collect(),
+                );
+                Json::obj([("label", Json::from(s.label.as_str())), ("points", points)])
+            })
+            .collect(),
+    )
 }
 
 fn main() {
@@ -91,9 +112,8 @@ fn main() {
         extensions(&opts);
     }
     if let Some(path) = json_path {
-        let doc = JSON_OUT.with(|m| serde_json::Value::Object(m.borrow().clone()));
-        let body = serde_json::to_string_pretty(&json!({ "scale": scale, "results": doc }))
-            .expect("serialize results");
+        let doc = JSON_OUT.with(|m| Json::Obj(m.borrow().clone()));
+        let body = Json::obj([("scale", Json::from(scale)), ("results", doc)]).to_pretty();
         std::fs::write(&path, body).unwrap_or_else(|e| {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);
@@ -135,7 +155,7 @@ fn fig1() {
 fn fig3(opts: &FigOpts) {
     header("Figure 3: parity-lock overhead (5 clients, one stripe, 6 servers)");
     let rows = figures::fig3(opts);
-    record("fig3", serde_json::json!(rows));
+    record("fig3", pairs_json(&rows));
     for (label, mbps) in &rows {
         println!("{label:>12}: {mbps:>8.1} MB/s");
     }
@@ -203,10 +223,16 @@ fn fig8(opts: &FigOpts) {
     let rows = figures::fig8(opts);
     record(
         "fig8",
-        serde_json::json!(rows
-            .iter()
-            .map(|r| serde_json::json!({ "app": r.app, "normalized": r.normalized }))
-            .collect::<Vec<_>>()),
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("app", Json::from(r.app.as_str())),
+                        ("normalized", pairs_json(&r.normalized)),
+                    ])
+                })
+                .collect(),
+        ),
     );
     print!("{:>16}", "application");
     for (label, _) in &rows[0].normalized {
@@ -287,10 +313,16 @@ fn table2(opts: &FigOpts) {
     let rows = figures::table2(opts);
     record(
         "table2",
-        serde_json::json!(rows
-            .iter()
-            .map(|r| serde_json::json!({ "benchmark": r.benchmark, "totals": r.totals }))
-            .collect::<Vec<_>>()),
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("benchmark", Json::from(r.benchmark.as_str())),
+                        ("totals", pairs_json(&r.totals)),
+                    ])
+                })
+                .collect(),
+        ),
     );
     print!("{:>22}", "benchmark");
     for (label, _) in &rows[0].totals {

@@ -1,0 +1,258 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, exposing the slice of its API the `benches/` suite uses:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`Throughput`],
+//! [`BenchmarkId`] and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Methodology: each benchmark is warmed up, then the iteration count is
+//! grown geometrically until one measured batch exceeds a fixed time
+//! floor, which amortises `Instant` overhead. The report prints mean
+//! ns/iter and derived throughput. That is deliberately cruder than
+//! criterion's bootstrapped statistics — these benches guide design
+//! choices (word-wise parity vs byte-wise, lock-manager cost), where
+//! order-of-magnitude and ranking fidelity suffice.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Per-sample measurement floor: batches grow until they run this long.
+const BATCH_FLOOR: Duration = Duration::from_millis(10);
+
+/// Hard cap on iterations per benchmark, so setup-heavy `iter_batched`
+/// targets (cluster spawns) stay bounded.
+const MAX_ITERS: u64 = 1 << 20;
+
+/// Throughput annotation: scales the report into bytes- or
+/// elements-per-second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortises setup. The in-repo harness always times
+/// the routine alone (setup excluded), so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Cheap-to-set-up inputs.
+    SmallInput,
+    /// Expensive inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// A benchmark's identifier within a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self { id: format!("{}/{}", name.into(), param) }
+    }
+
+    /// A parameter-only id (the group name provides the function part).
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self { id: param.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The harness entry point handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { name, throughput: None }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_one(name, None, f);
+    }
+}
+
+/// A named collection of benchmarks sharing throughput annotations.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Annotate subsequent benchmarks with per-iteration volume.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for criterion compatibility; the in-repo harness sizes
+    /// batches by time, not by sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine against a fixed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a routine with no explicit input.
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.throughput, f);
+        self
+    }
+
+    /// End the group (criterion flushes reports here; ours are eager).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` in geometrically growing batches until one batch passes
+    /// the measurement floor; record the mean over the final batch.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f()); // warmup / first-touch
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= BATCH_FLOOR || n >= MAX_ITERS {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / n as f64;
+                self.iters = n;
+                return;
+            }
+            n = n.saturating_mul(8).min(MAX_ITERS);
+        }
+    }
+
+    /// Time `routine` alone, rebuilding its input via `setup` before
+    /// every measured call (setup cost excluded from the timing).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup())); // warmup
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < BATCH_FLOOR && iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+            format!("  {:>10.1} MB/s", n as f64 / b.ns_per_iter * 1e9 / 1e6)
+        }
+        Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+            format!("  {:>10.1} Kelem/s", n as f64 / b.ns_per_iter * 1e9 / 1e3)
+        }
+        _ => String::new(),
+    };
+    println!("{label:<48} {:>14.0} ns/iter  ({} iters){rate}", b.ns_per_iter, b.iters);
+}
+
+/// Collect benchmark functions into a named runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::crit::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+// Re-export the macros under `crit::` so `use csar_bench::crit as
+// criterion;` gives bench files a drop-in `criterion::` path.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something_positive() {
+        let mut b = Bencher::default();
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(b.ns_per_iter > 0.0);
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup_and_runs_routine() {
+        let mut b = Bencher::default();
+        let mut calls = 0u32;
+        b.iter_batched(|| vec![1u8; 64], |v| {
+            calls += 1;
+            v.len()
+        }, BatchSize::SmallInput);
+        assert!(calls >= 1);
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("bytewise", 4096).to_string(), "bytewise/4096");
+        assert_eq!(BenchmarkId::from_parameter(100).to_string(), "100");
+    }
+}

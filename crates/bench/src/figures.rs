@@ -8,10 +8,10 @@
 //! shapes in seconds; the `figures` binary runs at scale 1.0.
 
 use crate::harness::{run_fresh, run_overwrite, ExperimentResult, Series};
+use crate::par::pmap;
 use csar_core::proto::Scheme;
 use csar_sim::HwProfile;
 use csar_workloads::{btio, cactus, flash, hartree_fock, kib, microbench, mib, romio};
-use rayon::prelude::*;
 
 /// Experiment options.
 #[derive(Debug, Clone, Copy)]
@@ -68,14 +68,11 @@ pub fn fig3(opts: &FigOpts) -> Vec<(String, f64)> {
     let profile = opts.profile(HwProfile::osc_itanium());
     let rounds = opts.count(200);
     let schemes = [Scheme::Raid0, Scheme::Raid5NoLock, Scheme::Raid5];
-    schemes
-        .par_iter()
-        .map(|&scheme| {
-            let (seed, contended) = microbench::shared_stripe(0, UNIT, 5, rounds);
-            let r = run_fresh(profile, TABLE2_SERVERS, scheme, UNIT, &[&seed], &contended);
-            (scheme.label().to_string(), r.write_mbps)
-        })
-        .collect()
+    pmap(&schemes, |&scheme| {
+        let (seed, contended) = microbench::shared_stripe(0, UNIT, 5, rounds);
+        let r = run_fresh(profile, TABLE2_SERVERS, scheme, UNIT, &[&seed], &contended);
+        (scheme.label().to_string(), r.write_mbps)
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -93,29 +90,23 @@ pub fn fig4a(opts: &FigOpts) -> Vec<Series> {
         Scheme::Hybrid,
     ];
     let total = opts.bytes(mib(256));
-    schemes
+    // Fan out over the full (scheme, server-count) grid at once.
+    let grid: Vec<(Scheme, u32)> = schemes
         .iter()
-        .map(|&scheme| {
-            let points: Vec<(f64, f64)> = (1u32..=7)
-                .into_par_iter()
-                .filter(|n| *n >= 2 || !scheme.uses_parity())
-                .map(|n| {
-                    // Write in ~4 MB chunks rounded to whole groups.
-                    let group = if scheme.uses_parity() {
-                        (n as u64 - 1) * UNIT
-                    } else {
-                        n as u64 * UNIT
-                    };
-                    let groups_per_op = (mib(4) / group).max(1);
-                    let ops = (total / (group * groups_per_op)).max(4);
-                    let w = microbench::full_stripe_writes(0, group, groups_per_op, ops);
-                    let r = run_fresh(profile, n, scheme, UNIT, &[], &w);
-                    (n as f64, r.write_mbps)
-                })
-                .collect();
-            Series { label: scheme.label().to_string(), points }
+        .flat_map(|&scheme| {
+            (1u32..=7).filter(move |n| *n >= 2 || !scheme.uses_parity()).map(move |n| (scheme, n))
         })
-        .collect()
+        .collect();
+    let runs = pmap(&grid, |&(scheme, n)| {
+        // Write in ~4 MB chunks rounded to whole groups.
+        let group = if scheme.uses_parity() { (n as u64 - 1) * UNIT } else { n as u64 * UNIT };
+        let groups_per_op = (mib(4) / group).max(1);
+        let ops = (total / (group * groups_per_op)).max(4);
+        let w = microbench::full_stripe_writes(0, group, groups_per_op, ops);
+        let r = run_fresh(profile, n, scheme, UNIT, &[], &w);
+        (scheme, (n as f64, r.write_mbps))
+    });
+    collect_series(&schemes, &runs)
 }
 
 /// Fig. 4(b): single client creates a file then rewrites it one stripe
@@ -124,19 +115,28 @@ pub fn fig4b(opts: &FigOpts) -> Vec<Series> {
     let profile = opts.profile(HwProfile::myrinet_pentium3());
     let schemes = [Scheme::Raid0, Scheme::Raid1, Scheme::Raid5, Scheme::Hybrid];
     let blocks = opts.count(512);
+    let grid: Vec<(Scheme, u32)> = schemes
+        .iter()
+        .flat_map(|&scheme| {
+            (1u32..=7).filter(move |n| *n >= 2 || !scheme.uses_parity()).map(move |n| (scheme, n))
+        })
+        .collect();
+    let runs = pmap(&grid, |&(scheme, n)| {
+        let (create, writes) = microbench::small_writes(0, UNIT, blocks);
+        let r = run_fresh(profile, n, scheme, UNIT, &[&create], &writes);
+        (scheme, (n as f64, r.write_mbps))
+    });
+    collect_series(&schemes, &runs)
+}
+
+/// Regroup `(scheme, point)` grid results into per-scheme series,
+/// preserving grid order within each scheme.
+fn collect_series(schemes: &[Scheme], runs: &[(Scheme, (f64, f64))]) -> Vec<Series> {
     schemes
         .iter()
-        .map(|&scheme| {
-            let points: Vec<(f64, f64)> = (1u32..=7)
-                .into_par_iter()
-                .filter(|n| *n >= 2 || !scheme.uses_parity())
-                .map(|n| {
-                    let (create, writes) = microbench::small_writes(0, UNIT, blocks);
-                    let r = run_fresh(profile, n, scheme, UNIT, &[&create], &writes);
-                    (n as f64, r.write_mbps)
-                })
-                .collect();
-            Series { label: scheme.label().to_string(), points }
+        .map(|&scheme| Series {
+            label: scheme.label().to_string(),
+            points: runs.iter().filter(|(s, _)| *s == scheme).map(|(_, p)| *p).collect(),
         })
         .collect()
 }
@@ -154,23 +154,19 @@ pub fn fig5(opts: &FigOpts) -> (Vec<Series>, Vec<Series>) {
     let clients = [1usize, 2, 4, 8, 16];
     let reps = opts.count(8);
     let schemes = Scheme::MAIN;
-    let runs: Vec<SchemeRun> = schemes
-        .par_iter()
-        .flat_map(|&scheme| {
-            clients
-                .par_iter()
-                .map(move |&p| {
-                    let wr = romio::perf_writes(0, p, romio::DEFAULT_BUF, reps);
-                    let rd = romio::perf_reads(0, p, romio::DEFAULT_BUF, reps);
-                    // Same cluster: write pass, then read pass (reads hit
-                    // the server caches, like the benchmark).
-                    let w = run_fresh(profile, servers, scheme, UNIT, &[], &wr);
-                    let r = run_fresh(profile, servers, scheme, UNIT, &[&wr], &rd);
-                    (scheme, p, r.read_mbps, w.flushed_write_mbps)
-                })
-                .collect::<Vec<_>>()
-        })
+    let grid: Vec<(Scheme, usize)> = schemes
+        .iter()
+        .flat_map(|&scheme| clients.iter().map(move |&p| (scheme, p)))
         .collect();
+    let runs: Vec<SchemeRun> = pmap(&grid, |&(scheme, p)| {
+        let wr = romio::perf_writes(0, p, romio::DEFAULT_BUF, reps);
+        let rd = romio::perf_reads(0, p, romio::DEFAULT_BUF, reps);
+        // Same cluster: write pass, then read pass (reads hit
+        // the server caches, like the benchmark).
+        let w = run_fresh(profile, servers, scheme, UNIT, &[], &wr);
+        let r = run_fresh(profile, servers, scheme, UNIT, &[&wr], &rd);
+        (scheme, p, r.read_mbps, w.flushed_write_mbps)
+    });
     let mk = |pick: &dyn Fn(&SchemeRun) -> f64| -> Vec<Series> {
         schemes
             .iter()
@@ -206,20 +202,14 @@ pub fn btio_figure(class: btio::Class, opts: &FigOpts) -> BtioFigure {
     // 25-process RAID5 drop to synchronization.
     let schemes =
         [Scheme::Raid0, Scheme::Raid1, Scheme::Raid5, Scheme::Raid5NoLock, Scheme::Hybrid];
-    let runs: Vec<SchemeRun> = schemes
-        .par_iter()
-        .flat_map(|&scheme| {
-            procs
-                .par_iter()
-                .map(move |&p| {
-                    let mut w = btio::write_workload(0, class, p);
-                    scale_workload(&mut w, opts.scale);
-                    let (initial, over) = run_overwrite(profile, TABLE2_SERVERS, scheme, UNIT, &w);
-                    (scheme, p, initial.write_mbps, over.write_mbps)
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect();
+    let grid: Vec<(Scheme, usize)> =
+        schemes.iter().flat_map(|&scheme| procs.iter().map(move |&p| (scheme, p))).collect();
+    let runs: Vec<SchemeRun> = pmap(&grid, |&(scheme, p)| {
+        let mut w = btio::write_workload(0, class, p);
+        scale_workload(&mut w, opts.scale);
+        let (initial, over) = run_overwrite(profile, TABLE2_SERVERS, scheme, UNIT, &w);
+        (scheme, p, initial.write_mbps, over.write_mbps)
+    });
     let mk = |pick: &dyn Fn(&SchemeRun) -> f64| -> Vec<Series> {
         schemes
             .iter()
@@ -293,25 +283,20 @@ pub fn fig8(opts: &FigOpts) -> Vec<AppRow> {
         ("Hartree-Fock".into(), hartree_fock::workload(0)),
         ("BTIO-B".into(), btio_w),
     ];
-    apps.par_iter()
-        .map(|(name, w)| {
-            let times: Vec<(String, u64)> = Scheme::MAIN
-                .iter()
-                .map(|&scheme| {
-                    let r = run_fresh(profile, servers, scheme, UNIT, &[], w);
-                    (scheme.label().to_string(), r.duration_ns)
-                })
-                .collect();
-            let raid0 = times[0].1 as f64;
-            AppRow {
-                app: name.clone(),
-                normalized: times
-                    .into_iter()
-                    .map(|(label, t)| (label, t as f64 / raid0))
-                    .collect(),
-            }
-        })
-        .collect()
+    pmap(&apps, |(name, w)| {
+        let times: Vec<(String, u64)> = Scheme::MAIN
+            .iter()
+            .map(|&scheme| {
+                let r = run_fresh(profile, servers, scheme, UNIT, &[], w);
+                (scheme.label().to_string(), r.duration_ns)
+            })
+            .collect();
+        let raid0 = times[0].1 as f64;
+        AppRow {
+            app: name.clone(),
+            normalized: times.into_iter().map(|(label, t)| (label, t as f64 / raid0)).collect(),
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -347,19 +332,16 @@ pub fn table2(opts: &FigOpts) -> Vec<Table2Row> {
         ("FLASH (24 proc, 64K)".into(), kib(64), flash::workload(0, 24, 1)),
         ("Hartree-Fock".into(), UNIT, hartree_fock::workload(0)),
     ]);
-    entries
-        .par_iter()
-        .map(|(name, unit, w)| {
-            let totals: Vec<(String, u64)> = Scheme::MAIN
-                .iter()
-                .map(|&scheme| {
-                    let r = run_fresh(profile, TABLE2_SERVERS, scheme, *unit, &[], w);
-                    (scheme.label().to_string(), r.storage.total_bytes())
-                })
-                .collect();
-            Table2Row { benchmark: name.clone(), totals }
-        })
-        .collect()
+    pmap(&entries, |(name, unit, w)| {
+        let totals: Vec<(String, u64)> = Scheme::MAIN
+            .iter()
+            .map(|&scheme| {
+                let r = run_fresh(profile, TABLE2_SERVERS, scheme, *unit, &[], w);
+                (scheme.label().to_string(), r.storage.total_bytes())
+            })
+            .collect();
+        Table2Row { benchmark: name.clone(), totals }
+    })
 }
 
 /// Convenience accessor for tests: total for a scheme label.

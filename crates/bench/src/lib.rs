@@ -2,17 +2,20 @@
 //!
 //! Regenerates every table and figure of the CSAR paper's evaluation
 //! from the simulator (`figures` binary; see `DESIGN.md` §5 for the
-//! experiment index), and hosts the criterion microbenchmarks of the
+//! experiment index), and hosts the microbenchmarks of the
 //! design-choice ablations (word-wise parity, lock manager, overflow
-//! table, write buffering, the §6.7 cleaner).
+//! table, write buffering, the §6.7 cleaner), run by the in-repo
+//! [`crit`] harness behind the `bench-ext` feature.
 //!
 //! The figure functions return structured series so the root test suite
 //! can assert the paper's *shapes* (orderings, ratios, crossovers)
 //! mechanically, and the binary can print the same rows the paper plots.
 
+pub mod crit;
 pub mod extensions;
 pub mod figures;
 pub mod harness;
+pub mod par;
 pub mod trace;
 pub mod trends;
 

@@ -32,9 +32,9 @@ fn figures_fig3_small_scale_and_json() {
     assert!(ok);
     assert!(stdout.contains("locking overhead"));
     let body = std::fs::read_to_string(&json_path).unwrap();
-    let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
-    assert!(doc["results"]["fig3"].is_array());
-    assert_eq!(doc["scale"], 0.05);
+    let doc = csar_store::Json::parse(&body).unwrap();
+    assert!(doc.get("results").get("fig3").is_array());
+    assert_eq!(doc.get("scale").as_f64(), Some(0.05));
     std::fs::remove_file(&json_path).ok();
 }
 

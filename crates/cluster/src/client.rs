@@ -2,15 +2,14 @@
 
 use crate::deploy::Inner;
 use crate::transport::{MgrMsg, ServerMsg};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use csar_core::client::{run_driver, OpOutput, ReadDriver, WriteDriver};
 use csar_core::manager::{FileMeta, MgrRequest, MgrResponse};
 use csar_core::proto::{ClientId, ReqHeader, Request, Response, Scheme, ServerId};
 use csar_core::{CsarError, Layout};
 use csar_store::{Payload, StorageReport};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A client's private connection state: reply channel, request-id
 /// allocator, and an operation lock (one outstanding operation at a time,
@@ -27,7 +26,7 @@ pub(crate) struct Handle {
 impl Handle {
     pub(crate) fn new(inner: Arc<Inner>) -> Self {
         let id = inner.next_client.fetch_add(1, Ordering::SeqCst);
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         Self { inner, id, tx, rx, next_req: AtomicU64::new(1), op_lock: Mutex::new(()) }
     }
 
@@ -41,7 +40,7 @@ impl Handle {
         &self,
         batch: Vec<(ServerId, Request)>,
     ) -> Result<Vec<Response>, CsarError> {
-        let _guard = self.op_lock.lock();
+        let _guard = self.op_lock.lock().unwrap_or_else(PoisonError::into_inner);
         let mut slots: Vec<Option<Response>> = vec![None; batch.len()];
         let mut waiting: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for (i, (srv, req)) in batch.into_iter().enumerate() {
@@ -74,7 +73,7 @@ impl Handle {
 
     /// A manager round trip.
     pub(crate) fn mgr(&self, req: MgrRequest) -> Result<MgrResponse, CsarError> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         self.inner
             .mgr_tx
             .send(MgrMsg::Req { req, reply_to: tx })
@@ -167,16 +166,16 @@ pub struct File {
 impl File {
     /// Snapshot of the file's metadata.
     pub fn meta(&self) -> FileMeta {
-        self.meta.lock().clone()
+        self.meta.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// Current logical size.
     pub fn size(&self) -> u64 {
-        self.meta.lock().size
+        self.meta.lock().unwrap_or_else(PoisonError::into_inner).size
     }
 
     fn hdr(&self) -> ReqHeader {
-        let m = self.meta.lock();
+        let m = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
         ReqHeader { fh: m.fh, layout: m.layout, scheme: m.scheme }
     }
 
@@ -204,7 +203,7 @@ impl File {
         // Report the new EOF to the manager (PVFS metadata update).
         let end = off + len;
         {
-            let mut m = self.meta.lock();
+            let mut m = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
             if end > m.size {
                 m.size = end;
             }

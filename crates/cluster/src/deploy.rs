@@ -3,7 +3,6 @@
 use crate::client::{ClusterClient, Handle};
 use crate::node::{run_manager, run_server, SharedServer};
 use crate::transport::{MgrMsg, ServerMsg};
-use crossbeam::channel::{unbounded, Sender};
 use csar_core::manager::FileMeta;
 use csar_core::proto::{ParityPart, ReqHeader, Request, Scheme, ServerId};
 use csar_core::recovery::RebuildPlan;
@@ -11,10 +10,10 @@ use csar_core::manager::Manager;
 use csar_core::server::{IoServer, ServerConfig, ServerImage};
 use csar_core::{CsarError, Span};
 use csar_parity::parity_of;
-use csar_store::Payload;
-use parking_lot::Mutex;
+use csar_store::{FromJson, Json, Payload, ToJson};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 pub(crate) struct Inner {
@@ -54,7 +53,7 @@ impl Cluster {
         let mut threads = Vec::with_capacity(n as usize + 1);
         for engine in engines {
             let id = engine.id;
-            let (tx, rx) = unbounded::<ServerMsg>();
+            let (tx, rx) = channel::<ServerMsg>();
             let engine: SharedServer = Arc::new(Mutex::new(engine));
             let engine2 = Arc::clone(&engine);
             threads.push(std::thread::Builder::new()
@@ -64,7 +63,7 @@ impl Cluster {
             server_txs.push(tx);
             shared.push(engine);
         }
-        let (mgr_tx, mgr_rx) = unbounded::<MgrMsg>();
+        let (mgr_tx, mgr_rx) = channel::<MgrMsg>();
         threads.push(std::thread::Builder::new()
             .name("csar-mgr".into())
             .spawn(move || run_manager(mgr_rx, mgr))
@@ -90,13 +89,11 @@ impl Cluster {
         let io = |e: std::io::Error| CsarError::Transport(format!("save: {e}"));
         std::fs::create_dir_all(dir).map_err(io)?;
         let metas = self.client().list_files()?;
-        let mgr_json = serde_json::to_string(&metas)
-            .map_err(|e| CsarError::Transport(format!("save: {e}")))?;
+        let mgr_json = Json::Arr(metas.iter().map(ToJson::to_json).collect()).to_string();
         std::fs::write(dir.join("manager.json"), mgr_json).map_err(io)?;
         for srv in 0..self.servers() {
             let image = self.with_server(srv, |s| s.export());
-            let body = serde_json::to_string(&image)
-                .map_err(|e| CsarError::Transport(format!("save: {e}")))?;
+            let body = image.to_json().to_string();
             std::fs::write(dir.join(format!("server-{srv}.json")), body).map_err(io)?;
         }
         Ok(())
@@ -106,9 +103,16 @@ impl Cluster {
     /// Server count comes from the snapshot; caches start cold.
     pub fn load_from(dir: &std::path::Path, cfg: ServerConfig) -> Result<Cluster, CsarError> {
         let io = |e: std::io::Error| CsarError::Transport(format!("load: {e}"));
+        let jerr = |e: csar_store::JsonError| CsarError::Transport(format!("load: {}", e.0));
         let mgr_body = std::fs::read_to_string(dir.join("manager.json")).map_err(io)?;
-        let metas: Vec<FileMeta> = serde_json::from_str(&mgr_body)
-            .map_err(|e| CsarError::Transport(format!("load: {e}")))?;
+        let mgr_doc = Json::parse(&mgr_body).map_err(jerr)?;
+        let metas: Vec<FileMeta> = mgr_doc
+            .as_array()
+            .ok_or_else(|| CsarError::Transport("load: manager.json must hold an array".into()))?
+            .iter()
+            .map(FileMeta::from_json)
+            .collect::<Result<_, _>>()
+            .map_err(jerr)?;
         let mut engines = Vec::new();
         for srv in 0u32.. {
             let path = dir.join(format!("server-{srv}.json"));
@@ -116,8 +120,7 @@ impl Cluster {
                 break;
             }
             let body = std::fs::read_to_string(&path).map_err(io)?;
-            let image: ServerImage = serde_json::from_str(&body)
-                .map_err(|e| CsarError::Transport(format!("load: {e}")))?;
+            let image = ServerImage::from_json(&Json::parse(&body).map_err(jerr)?).map_err(jerr)?;
             engines.push(IoServer::import(image, cfg));
         }
         if engines.is_empty() {
@@ -185,7 +188,7 @@ impl Cluster {
 
     /// Inspect a server's engine (store, cache, lock stats) in place.
     pub fn with_server<R>(&self, id: ServerId, f: impl FnOnce(&IoServer) -> R) -> R {
-        let engine = self.inner.shared[id as usize].lock();
+        let engine = self.inner.shared[id as usize].lock().unwrap_or_else(PoisonError::into_inner);
         f(&engine)
     }
 
@@ -394,7 +397,7 @@ impl Cluster {
             let _ = tx.send(ServerMsg::Shutdown);
         }
         let _ = self.inner.mgr_tx.send(MgrMsg::Shutdown);
-        for t in self.threads.lock().drain(..) {
+        for t in self.threads.lock().unwrap_or_else(PoisonError::into_inner).drain(..) {
             let _ = t.join();
         }
     }
@@ -405,7 +408,7 @@ impl Drop for Cluster {
         // Best-effort shutdown when the user forgets to call `shutdown`.
         // Non-owning handles (clone_ref, used by daemons) hold no thread
         // handles and must not stop the cluster.
-        let mut threads = self.threads.lock();
+        let mut threads = self.threads.lock().unwrap_or_else(PoisonError::into_inner);
         if threads.is_empty() {
             return;
         }

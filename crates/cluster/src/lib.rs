@@ -2,7 +2,7 @@
 //!
 //! Runs the `csar-core` engines as a real concurrent system: one OS
 //! thread per I/O server plus one for the metadata manager, connected by
-//! crossbeam channels (standing in for the TCP/Myrinet transport of the
+//! std mpsc channels (standing in for the TCP/Myrinet transport of the
 //! paper's testbeds). Clients get a blocking, PVFS-library-style API:
 //!
 //! ```

@@ -1,13 +1,12 @@
 //! Server and manager threads.
 
 use crate::transport::{MgrMsg, ServerMsg};
-use crossbeam::channel::{Receiver, Sender};
 use csar_core::manager::Manager;
 use csar_core::proto::{Response, ServerId};
 use csar_core::server::{Effect, IoServer, ServerConfig};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Shared observer handle onto one server thread's engine state.
 ///
@@ -27,7 +26,7 @@ pub(crate) fn run_server(
     rx: Receiver<ServerMsg>,
     shared: SharedServer,
 ) {
-    debug_assert_eq!(shared.lock().id, id);
+    debug_assert_eq!(shared.lock().unwrap_or_else(PoisonError::into_inner).id, id);
     let _ = cfg;
     let mut pending: HashMap<(u32, u64), Sender<(u64, Response)>> = HashMap::new();
     while let Ok(msg) = rx.recv() {
@@ -35,7 +34,9 @@ pub(crate) fn run_server(
             ServerMsg::Req { from, req_id, req, reply_to } => {
                 pending.insert((from, req_id), reply_to);
                 let effects = {
-                    let mut engine = shared.lock();
+                    // A panicked observer cannot corrupt the engine, so a
+                    // poisoned lock is recovered rather than propagated.
+                    let mut engine = shared.lock().unwrap_or_else(PoisonError::into_inner);
                     engine.handle(from, req_id, req)
                 };
                 for Effect::Reply { to, req_id, resp, .. } in effects {

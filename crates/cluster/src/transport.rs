@@ -1,6 +1,6 @@
 //! Channel transport between clients and nodes.
 
-use crossbeam::channel::Sender;
+use std::sync::mpsc::Sender;
 use csar_core::manager::{MgrRequest, MgrResponse};
 use csar_core::proto::{ClientId, Request, Response};
 

@@ -5,16 +5,14 @@ use csar_cluster::Cluster;
 use csar_core::proto::Scheme;
 use csar_core::recovery::parity_consistent;
 use csar_core::server::ServerConfig;
-use csar_store::StreamKind;
-use rand::{RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use csar_store::{SplitMix64, StreamKind};
 
 fn cfg() -> ServerConfig {
     ServerConfig { fs_block: 512, ..ServerConfig::default() }
 }
 
 fn pattern(len: usize, seed: u64) -> Vec<u8> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut v = vec![0u8; len];
     rng.fill_bytes(&mut v);
     v

@@ -34,7 +34,10 @@ pub enum Action {
     Send(Vec<(ServerId, Request)>),
     /// Charge `bytes` of XOR work, then call [`OpDriver::on_compute_done`].
     /// The actual computation has already happened inside the driver.
-    Compute { bytes: u64 },
+    Compute {
+        /// XOR bytes to charge to the compute model.
+        bytes: u64,
+    },
     /// The operation finished.
     Done(Result<OpOutput, CsarError>),
 }
@@ -43,9 +46,15 @@ pub enum Action {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpOutput {
     /// A write completed; `bytes` is the logical byte count.
-    Written { bytes: u64 },
+    Written {
+        /// Logical bytes written.
+        bytes: u64,
+    },
     /// A read completed with the assembled payload.
-    Read { payload: Payload },
+    Read {
+        /// The assembled read payload.
+        payload: Payload,
+    },
 }
 
 impl OpOutput {

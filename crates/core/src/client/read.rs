@@ -110,10 +110,12 @@ impl ReadDriver {
         if !lost.is_empty() {
             match scheme {
                 Scheme::Raid0 => {
+                    let failed = self.failed.ok_or_else(|| {
+                        CsarError::Protocol("lost spans recorded without a failed server".into())
+                    })?;
                     return Err(CsarError::DataLoss(format!(
-                        "RAID0 cannot serve {} span(s) on failed server {}",
+                        "RAID0 cannot serve {} span(s) on failed server {failed}",
                         lost.len(),
-                        self.failed.expect("failure required")
                     )));
                 }
                 Scheme::Raid1 => {
@@ -250,7 +252,10 @@ impl OpDriver for ReadDriver {
                     Err(e) => return self.fail(e),
                 }
             }
-            let mut rebuilt = acc.expect("reconstruction with no inputs");
+            let Some(mut rebuilt) = acc else {
+                return self
+                    .fail(CsarError::Protocol("reconstruction job with no inputs".into()));
+            };
             compute_bytes += rebuilt.len() * (job.others.len() as u64 + 1);
             // Hybrid: overlay the overflow-mirror runs.
             if let Some(idx) = job.overlay {

@@ -83,7 +83,8 @@ impl WriteDriver {
     ///
     /// # Panics
     /// Panics if the payload is empty (writes of zero bytes are the
-    /// caller's no-op) or the scheme is invalid for the layout.
+    /// caller's no-op). A scheme/layout mismatch is reported as an error
+    /// by `begin`.
     pub fn new(meta: &FileMeta, off: u64, payload: Payload) -> Self {
         Self::new_degraded(meta, off, payload, None)
     }
@@ -111,7 +112,8 @@ impl WriteDriver {
     ///
     /// # Panics
     /// Panics if the payload is empty (writes of zero bytes are the
-    /// caller's no-op) or the scheme is invalid for the layout.
+    /// caller's no-op). A scheme/layout mismatch is reported as an error
+    /// by `begin`.
     pub fn new_degraded(
         meta: &FileMeta,
         off: u64,
@@ -119,13 +121,12 @@ impl WriteDriver {
         failed: Option<ServerId>,
     ) -> Self {
         assert!(!payload.is_empty(), "zero-length writes are a caller-side no-op");
-        meta.layout.check_scheme(meta.scheme).expect("scheme/layout mismatch");
         let ly = meta.layout;
         let hdr = ReqHeader { fh: meta.fh, layout: ly, scheme: meta.scheme };
         let mut partials = Vec::new();
         let mut full = None;
         let mut plain_partial_spans = Vec::new();
-        let mut planning_error = None;
+        let mut planning_error = meta.layout.check_scheme(meta.scheme).err();
 
         if let Some(f) = failed {
             let affected = ly
@@ -146,7 +147,7 @@ impl WriteDriver {
             }
         }
 
-        if meta.scheme.uses_parity() {
+        if meta.scheme.uses_parity() && planning_error.is_none() {
             let split = ly.split_write(off, payload.len());
             for (po, pl) in split.partials() {
                 let spans = ly.spans(po, pl);
@@ -277,6 +278,13 @@ impl WriteDriver {
         let ly = self.layout();
         let mut batch = Vec::new();
         let locking = self.scheme().uses_locking();
+        // §5.1 deadlock avoidance: parity locks are acquired in ascending
+        // group order, so `partials` must be sorted by group (split_write
+        // yields the lower group first; batch B runs strictly after A).
+        debug_assert!(
+            self.partials.windows(2).all(|w| w[0].group < w[1].group),
+            "parity lock order must be ascending by group (§5.1)"
+        );
         let parity_groups: &[usize] = if locking || self.partials.len() == 1 { &[0] } else { &[0, 1] };
         for &i in parity_groups {
             let p = &self.partials[i];
@@ -320,8 +328,10 @@ impl WriteDriver {
     }
 
     /// Compute new parity for all partial groups (RMW) and all whole
-    /// groups. Returns bytes of XOR work for the `Compute` action.
-    fn compute_parities(&mut self) -> u64 {
+    /// groups. Returns bytes of XOR work for the `Compute` action. A
+    /// missing old-data/old-parity read is a protocol error (a server
+    /// replied out of shape), not a client panic.
+    fn compute_parities(&mut self) -> Result<u64, CsarError> {
         let ly = *self.layout();
         let unit = ly.stripe_unit;
         let npc = self.scheme() == Scheme::Raid5NoParityCompute;
@@ -361,12 +371,14 @@ impl WriteDriver {
                         p.intra_hi,
                     )
                 };
-                let old_parity = old_parity.expect("old parity not read");
+                let old_parity = old_parity
+                    .ok_or_else(|| CsarError::Protocol("old parity not read before compute".into()))?;
                 debug_assert_eq!(old_parity.len(), hi - lo);
                 let new_parity = if npc {
                     self.blank(hi - lo)
                 } else {
-                    let old_data = old_data.expect("old data not read");
+                    let old_data = old_data
+                        .ok_or_else(|| CsarError::Protocol("old data not read before compute".into()))?;
                     // Walk spans: old_data is their concatenation. The
                     // parity buffer covers intra range [lo, hi).
                     let mut parity = old_parity;
@@ -390,12 +402,12 @@ impl WriteDriver {
                 self.partials[i].new_parity = Some(new_parity);
             }
         }
-        bytes
+        Ok(bytes)
     }
 
     /// The final write batch: per-server data writes, parity writes,
     /// unlock-writes for RMW groups, and (Hybrid) overflow appends.
-    fn write_batch(&mut self) -> Vec<(ServerId, Request)> {
+    fn write_batch(&mut self) -> Result<Vec<(ServerId, Request)>, CsarError> {
         let ly = *self.layout();
         let unit = ly.stripe_unit;
         let hybrid = self.scheme() == Scheme::Hybrid;
@@ -469,7 +481,10 @@ impl WriteDriver {
                 data_spans.entry(srv).or_default().extend(spans);
             }
             for p in &mut self.partials {
-                let parity = p.new_parity.take().expect("parity not computed");
+                let parity = p
+                    .new_parity
+                    .take()
+                    .ok_or_else(|| CsarError::Protocol("parity not computed before write".into()))?;
                 let srv = ly.parity_server(p.group);
                 if locking {
                     tail.push((
@@ -556,7 +571,7 @@ impl WriteDriver {
             "mirror invalidations left without a carrier request: {mirror_inval:?}"
         );
         let _ = unit;
-        batch
+        Ok(batch)
     }
 
     fn finish(&mut self) -> Action {
@@ -584,14 +599,18 @@ impl OpDriver for WriteDriver {
             Scheme::Hybrid => {
                 // No reads ever: compute full-group parity (if any) and write.
                 self.state = State::Computing;
-                let bytes = self.compute_parities();
-                Action::Compute { bytes }
+                match self.compute_parities() {
+                    Ok(bytes) => Action::Compute { bytes },
+                    Err(e) => self.fail(e),
+                }
             }
             _ => {
                 if self.partials.is_empty() {
                     self.state = State::Computing;
-                    let bytes = self.compute_parities();
-                    Action::Compute { bytes }
+                    match self.compute_parities() {
+                        Ok(bytes) => Action::Compute { bytes },
+                        Err(e) => self.fail(e),
+                    }
                 } else {
                     self.state = State::AwaitReadsA;
                     Action::Send(self.rmw_read_batch_a())
@@ -654,8 +673,18 @@ impl OpDriver for WriteDriver {
                     }
                 }
                 for (pi, parts) in per_partial.into_iter().enumerate() {
-                    let parts: Vec<Payload> = parts.into_iter().map(|p| p.expect("span gap")).collect();
-                    self.partials[pi].old_data = Some(Payload::concat(&parts));
+                    let mut gathered: Vec<Payload> = Vec::with_capacity(parts.len());
+                    for p in parts {
+                        match p {
+                            Some(p) => gathered.push(p),
+                            None => {
+                                return self.fail(CsarError::Protocol(
+                                    "old-data replies left a span unfilled".into(),
+                                ))
+                            }
+                        }
+                    }
+                    self.partials[pi].old_data = Some(Payload::concat(&gathered));
                 }
 
                 if locking && self.partials.len() == 2 {
@@ -663,8 +692,10 @@ impl OpDriver for WriteDriver {
                     Action::Send(self.rmw_read_batch_b())
                 } else {
                     self.state = State::Computing;
-                    let bytes = self.compute_parities();
-                    Action::Compute { bytes }
+                    match self.compute_parities() {
+                        Ok(bytes) => Action::Compute { bytes },
+                        Err(e) => self.fail(e),
+                    }
                 }
             }
             State::AwaitReadsB => {
@@ -675,8 +706,10 @@ impl OpDriver for WriteDriver {
                     None => return self.fail(CsarError::Protocol("missing parity reply".into())),
                 }
                 self.state = State::Computing;
-                let bytes = self.compute_parities();
-                Action::Compute { bytes }
+                match self.compute_parities() {
+                    Ok(bytes) => Action::Compute { bytes },
+                    Err(e) => self.fail(e),
+                }
             }
             State::AwaitWrites => self.finish(),
             s => self.fail(CsarError::Protocol(format!("unexpected replies in state {s:?}"))),
@@ -686,6 +719,9 @@ impl OpDriver for WriteDriver {
     fn on_compute_done(&mut self) -> Action {
         debug_assert_eq!(self.state, State::Computing);
         self.state = State::AwaitWrites;
-        Action::Send(self.write_batch())
+        match self.write_batch() {
+            Ok(batch) => Action::Send(batch),
+            Err(e) => self.fail(e),
+        }
     }
 }

@@ -1,10 +1,9 @@
 //! Error type shared across the CSAR stack.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors surfaced by CSAR operations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CsarError {
     /// The named file does not exist at the manager.
     NoSuchFile(String),
@@ -22,7 +21,12 @@ pub enum CsarError {
     Protocol(String),
     /// The requested scheme needs more I/O servers than configured
     /// (RAID5/Hybrid require at least two).
-    InsufficientServers { scheme: String, servers: u32 },
+    InsufficientServers {
+        /// The scheme that was requested.
+        scheme: String,
+        /// How many servers the cluster has.
+        servers: u32,
+    },
     /// Transport-level failure in the live cluster (channel closed).
     Transport(String),
 }

@@ -23,7 +23,7 @@
 //! the block has at home.
 
 use crate::error::CsarError;
-use serde::{Deserialize, Serialize};
+use csar_store::{FromJson, Json, JsonError, ToJson};
 
 /// Striping geometry of one CSAR file.
 ///
@@ -40,7 +40,7 @@ use serde::{Deserialize, Serialize};
 /// let split = ly.split_write(50 * 1024, 100 * 1024);
 /// assert!(split.head.is_some() && split.tail.is_some());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Layout {
     /// Number of I/O servers the file is striped over.
     pub servers: u32,
@@ -48,9 +48,27 @@ pub struct Layout {
     pub stripe_unit: u64,
 }
 
+impl ToJson for Layout {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("servers", Json::from(self.servers)),
+            ("stripe_unit", Json::from(self.stripe_unit)),
+        ])
+    }
+}
+
+impl FromJson for Layout {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Layout {
+            servers: j.u64_field("servers")? as u32,
+            stripe_unit: j.u64_field("stripe_unit")?,
+        })
+    }
+}
+
 /// A contiguous logical byte range that lies within a single stripe
 /// block (and therefore wholly on one server).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Span {
     /// Logical file offset.
     pub logical_off: u64,
@@ -311,7 +329,6 @@ impl Layout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn l(n: u32, unit: u64) -> Layout {
         Layout::new(n, unit)
@@ -462,71 +479,92 @@ mod tests {
         assert!(l(2, 10).check_scheme(Scheme::Hybrid).is_ok());
     }
 
-    proptest! {
-        /// The split is a partition: parts are disjoint, contiguous, cover
-        /// [off, off+len), head/tail are strictly inside a group, full is
-        /// group-aligned.
-        #[test]
-        fn split_write_is_partition(n in 2u32..9, unit in 1u64..64,
-                                    off in 0u64..10_000, len in 1u64..10_000) {
+    /// The split is a partition: parts are disjoint, contiguous, cover
+    /// [off, off+len), head/tail are strictly inside a group, full is
+    /// group-aligned. Deterministic seeded sweep (ex-proptest).
+    #[test]
+    fn split_write_is_partition() {
+        let mut rng = csar_store::SplitMix64::new(0x5917_0001);
+        for case in 0..400 {
+            let n = rng.gen_range(2..9) as u32;
+            let unit = rng.gen_range(1..64);
+            let off = rng.gen_range(0..10_000);
+            let len = rng.gen_range(1..10_000);
             let ly = l(n, unit);
             let g = ly.group_width_bytes();
             let s = ly.split_write(off, len);
             let mut cursor = off;
             if let Some((o, l2)) = s.head {
-                prop_assert_eq!(o, cursor);
-                prop_assert!(l2 < g || (o % g != 0));
-                prop_assert!(l2 > 0);
+                assert_eq!(o, cursor, "case {case}");
+                assert!(l2 < g || (o % g != 0), "case {case}");
+                assert!(l2 > 0, "case {case}");
                 // head never crosses a group boundary
-                prop_assert_eq!(o / g, (o + l2 - 1) / g);
+                assert_eq!(o / g, (o + l2 - 1) / g, "case {case}");
                 cursor += l2;
             }
             if let Some((o, l2)) = s.full {
-                prop_assert_eq!(o, cursor);
-                prop_assert_eq!(o % g, 0);
-                prop_assert_eq!(l2 % g, 0);
-                prop_assert!(l2 > 0);
+                assert_eq!(o, cursor, "case {case}");
+                assert_eq!(o % g, 0, "case {case}");
+                assert_eq!(l2 % g, 0, "case {case}");
+                assert!(l2 > 0, "case {case}");
                 cursor += l2;
             }
             if let Some((o, l2)) = s.tail {
-                prop_assert_eq!(o, cursor);
-                prop_assert_eq!(o % g, 0);
-                prop_assert!(l2 > 0 && l2 < g);
+                assert_eq!(o, cursor, "case {case}");
+                assert_eq!(o % g, 0, "case {case}");
+                assert!(l2 > 0 && l2 < g, "case {case}");
                 cursor += l2;
             }
-            prop_assert_eq!(cursor, off + len);
+            assert_eq!(cursor, off + len, "case {case}");
         }
+    }
 
-        /// Spans partition the range and each lies in one block.
-        #[test]
-        fn spans_partition(n in 1u32..9, unit in 1u64..64,
-                           off in 0u64..5_000, len in 1u64..5_000) {
+    /// Spans partition the range and each lies in one block.
+    #[test]
+    fn spans_partition() {
+        let mut rng = csar_store::SplitMix64::new(0x5917_0002);
+        for case in 0..400 {
+            let n = rng.gen_range(1..9) as u32;
+            let unit = rng.gen_range(1..64);
+            let off = rng.gen_range(0..5_000);
+            let len = rng.gen_range(1..5_000);
             let ly = l(n, unit);
             let spans = ly.spans(off, len);
             let mut cursor = off;
             for s in &spans {
-                prop_assert_eq!(s.logical_off, cursor);
-                prop_assert!(s.len > 0 && s.len <= unit);
-                prop_assert_eq!(ly.block_of(s.logical_off), ly.block_of(s.end() - 1));
+                assert_eq!(s.logical_off, cursor, "case {case}");
+                assert!(s.len > 0 && s.len <= unit, "case {case}");
+                assert_eq!(ly.block_of(s.logical_off), ly.block_of(s.end() - 1), "case {case}");
                 cursor = s.end();
             }
-            prop_assert_eq!(cursor, off + len);
+            assert_eq!(cursor, off + len, "case {case}");
         }
+    }
 
-        /// Data and parity local offsets never collide across the streams
-        /// they index (each (server,row) is used by exactly one block /
-        /// group).
-        #[test]
-        fn layout_slots_injective(n in 2u32..8, blocks in 1u64..300) {
+    /// Data and parity local offsets never collide across the streams
+    /// they index (each (server,row) is used by exactly one block /
+    /// group).
+    #[test]
+    fn layout_slots_injective() {
+        let mut rng = csar_store::SplitMix64::new(0x5917_0003);
+        use std::collections::HashSet;
+        for case in 0..100 {
+            let n = rng.gen_range(2..8) as u32;
+            let blocks = rng.gen_range(1..300);
             let ly = l(n, 8);
-            use std::collections::HashSet;
             let mut data_slots = HashSet::new();
             for b in 0..blocks {
-                prop_assert!(data_slots.insert((ly.home_server(b), ly.data_local_off(b, 0))));
+                assert!(
+                    data_slots.insert((ly.home_server(b), ly.data_local_off(b, 0))),
+                    "case {case}"
+                );
             }
             let mut parity_slots = HashSet::new();
             for g in 0..blocks {
-                prop_assert!(parity_slots.insert((ly.parity_server(g), ly.parity_local_off(g, 0))));
+                assert!(
+                    parity_slots.insert((ly.parity_server(g), ly.parity_local_off(g, 0))),
+                    "case {case}"
+                );
             }
         }
     }

@@ -28,6 +28,8 @@
 //! implementation for both is what makes the evaluated code the shipped
 //! code.
 
+#![warn(missing_docs)]
+
 pub mod client;
 pub mod error;
 pub mod layout;

@@ -116,6 +116,12 @@ impl<T> ParityLockTable<T> {
     pub fn held_count(&self) -> usize {
         self.held.len()
     }
+
+    /// The keys of all currently-held locks, in no particular order
+    /// (model-checker invariant support: a quiescent table must be empty).
+    pub fn held_keys(&self) -> Vec<LockKey> {
+        self.held.keys().copied().collect()
+    }
 }
 
 #[cfg(test)]
@@ -162,5 +168,71 @@ mod tests {
     fn release_of_unheld_lock_is_tolerated() {
         let mut t: ParityLockTable<u32> = ParityLockTable::new();
         assert_eq!(t.release((9, 9)), None);
+    }
+
+    #[test]
+    fn waiters_arriving_mid_drain_keep_fifo_order() {
+        let mut t: ParityLockTable<u32> = ParityLockTable::new();
+        assert_eq!(t.acquire((1, 0), 1), Acquire::Granted);
+        assert_eq!(t.acquire((1, 0), 2), Acquire::Queued);
+        assert_eq!(t.release((1, 0)), Some(2));
+        // A new waiter queues behind the woken holder, not ahead of it.
+        assert_eq!(t.acquire((1, 0), 3), Acquire::Queued);
+        assert_eq!(t.acquire((1, 0), 4), Acquire::Queued);
+        assert_eq!(t.release((1, 0)), Some(3));
+        assert_eq!(t.release((1, 0)), Some(4));
+        assert_eq!(t.release((1, 0)), None);
+        assert!(!t.is_held((1, 0)));
+        assert_eq!(t.acquisitions, 4);
+        assert_eq!(t.contended, 3);
+    }
+
+    #[test]
+    fn draining_one_key_leaves_other_queues_intact() {
+        let mut t: ParityLockTable<u32> = ParityLockTable::new();
+        for key in [(1, 0), (1, 1), (2, 0)] {
+            assert_eq!(t.acquire(key, 10), Acquire::Granted);
+            assert_eq!(t.acquire(key, 11), Acquire::Queued);
+        }
+        // Fully drain (1, 0); the other queues are untouched.
+        assert_eq!(t.release((1, 0)), Some(11));
+        assert_eq!(t.release((1, 0)), None);
+        assert!(!t.is_held((1, 0)));
+        assert_eq!(t.queue_len((1, 1)), 1);
+        assert_eq!(t.queue_len((2, 0)), 1);
+        let mut held = t.held_keys();
+        held.sort_unstable();
+        assert_eq!(held, vec![(1, 1), (2, 0)]);
+    }
+
+    /// The §5.1 write-hole regression in miniature: two read-XOR-write
+    /// updates serialized through the table both land in parity, while
+    /// the same pair with locking bypassed loses the first update. The
+    /// full interleaving-exhaustive version lives in `csar-analysis
+    /// check`; this pins the table-level behaviour in-tree.
+    #[test]
+    fn serialized_updates_compose_and_bypassed_ones_lose_data() {
+        let key = (1, 0);
+        let apply = |parity: &mut u64, snap: u64, token: u64| *parity = snap ^ token;
+
+        // Locked: writer B's read is deferred until A's write releases.
+        let mut t: ParityLockTable<u8> = ParityLockTable::new();
+        let mut parity = 0u64;
+        assert_eq!(t.acquire(key, b'a'), Acquire::Granted);
+        let snap_a = parity;
+        assert_eq!(t.acquire(key, b'b'), Acquire::Queued); // B parked: no snapshot yet
+        apply(&mut parity, snap_a, 0b01);
+        assert_eq!(t.release(key), Some(b'b'));
+        let snap_b = parity; // B snapshots only after the wake
+        apply(&mut parity, snap_b, 0b10);
+        assert_eq!(t.release(key), None);
+        assert_eq!(parity, 0b11, "both updates must land");
+
+        // Bypassed: both snapshot the same stale parity; A's update lost.
+        let mut parity = 0u64;
+        let (snap_a, snap_b) = (parity, parity);
+        apply(&mut parity, snap_a, 0b01);
+        apply(&mut parity, snap_b, 0b10);
+        assert_eq!(parity, 0b10, "write hole: first update overwritten");
     }
 }

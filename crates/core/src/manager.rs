@@ -9,38 +9,100 @@
 use crate::error::CsarError;
 use crate::layout::Layout;
 use crate::proto::Scheme;
-use serde::{Deserialize, Serialize};
+use csar_store::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 
 /// Metadata of one CSAR file.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileMeta {
+    /// File handle (unique per manager).
     pub fh: u64,
+    /// File name.
     pub name: String,
+    /// Redundancy scheme the file was created with.
     pub scheme: Scheme,
+    /// Striping/parity layout.
     pub layout: Layout,
     /// Logical size (max end-of-write reported so far).
     pub size: u64,
 }
 
+impl ToJson for FileMeta {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("fh", Json::from(self.fh)),
+            ("name", Json::from(self.name.as_str())),
+            ("scheme", self.scheme.to_json()),
+            ("layout", self.layout.to_json()),
+            ("size", Json::from(self.size)),
+        ])
+    }
+}
+
+impl FromJson for FileMeta {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(FileMeta {
+            fh: j.u64_field("fh")?,
+            name: j
+                .field("name")?
+                .as_str()
+                .ok_or_else(|| JsonError("`name` must be a string".into()))?
+                .to_string(),
+            scheme: Scheme::from_json(j.field("scheme")?)?,
+            layout: Layout::from_json(j.field("layout")?)?,
+            size: j.u64_field("size")?,
+        })
+    }
+}
+
 /// Requests handled by the manager.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum MgrRequest {
-    Create { name: String, scheme: Scheme, layout: Layout },
-    Open { name: String },
-    Stat { fh: u64 },
+    /// Create a file with the given scheme and layout.
+    Create {
+        /// File name (must be unused).
+        name: String,
+        /// Redundancy scheme.
+        scheme: Scheme,
+        /// Striping/parity layout.
+        layout: Layout,
+    },
+    /// Look up a file by name.
+    Open {
+        /// File name.
+        name: String,
+    },
+    /// Look up a file by handle.
+    Stat {
+        /// File handle.
+        fh: u64,
+    },
     /// Grow the recorded size to at least `size`.
-    SetSize { fh: u64, size: u64 },
+    SetSize {
+        /// File handle.
+        fh: u64,
+        /// New lower bound for the logical size.
+        size: u64,
+    },
+    /// List all files.
     List,
-    Remove { name: String },
+    /// Remove a file by name.
+    Remove {
+        /// File name.
+        name: String,
+    },
 }
 
 /// Manager replies.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum MgrResponse {
+    /// Metadata of the file in question.
     Meta(FileMeta),
+    /// Metadata of every file.
     List(Vec<FileMeta>),
+    /// The request succeeded with nothing to return.
     Ok,
+    /// The request failed.
     Err(CsarError),
 }
 
@@ -196,6 +258,20 @@ mod tests {
             m.handle(MgrRequest::Remove { name: "a".into() }),
             MgrResponse::Err(CsarError::NoSuchFile(_))
         ));
+    }
+
+    #[test]
+    fn file_meta_json_roundtrip() {
+        let meta = FileMeta {
+            fh: u64::MAX - 1,
+            name: "checkpoint \"41\"".into(),
+            scheme: Scheme::Hybrid,
+            layout: layout(),
+            size: 1 << 40,
+        };
+        let text = meta.to_json().to_string();
+        let back = FileMeta::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, meta);
     }
 
     #[test]

@@ -15,16 +15,38 @@
 //! the paper's proposed background reorganizer (§6.7) would recover (the
 //! `CompactOverflow` request, driven by the live cluster's cleaner).
 
-use serde::{Deserialize, Serialize};
+use csar_store::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 
 /// One overflow-table entry: logical `[logical_off, logical_off+len)` is
 /// currently served from `[file_off, file_off+len)` of the overflow file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OverflowEntry {
+    /// Logical file offset the run shadows.
     pub logical_off: u64,
+    /// Length of the run in bytes.
     pub len: u64,
+    /// Offset of the run inside the overflow file.
     pub file_off: u64,
+}
+
+impl ToJson for OverflowEntry {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![
+            Json::from(self.logical_off),
+            Json::from(self.len),
+            Json::from(self.file_off),
+        ])
+    }
+}
+
+impl FromJson for OverflowEntry {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let num = |i: usize| {
+            j.at(i).as_u64().ok_or_else(|| JsonError("overflow entry fields must be u64".into()))
+        };
+        Ok(OverflowEntry { logical_off: num(0)?, len: num(1)?, file_off: num(2)? })
+    }
 }
 
 /// The per-file overflow table of one server.
@@ -38,7 +60,7 @@ pub struct OverflowEntry {
 /// t.invalidate(0, 200);        // a full-group write supersedes it all
 /// assert!(t.is_empty());
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OverflowTable {
     /// logical start → (len, file_off); non-overlapping.
     map: BTreeMap<u64, (u64, u64)>,
@@ -142,7 +164,6 @@ impl OverflowTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn insert_lookup_roundtrip() {
@@ -236,15 +257,20 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn matches_bytewise_model(ops in proptest::collection::vec(
-            (any::<bool>(), 0u64..200, 1u64..50), 1..40))
-        {
+    /// Deterministic property test: random insert/invalidate sequences
+    /// against a byte-granular reference model (seeded SplitMix64).
+    #[test]
+    fn matches_bytewise_model() {
+        let mut rng = csar_store::SplitMix64::new(0x0F10_0001);
+        for case in 0..300 {
+            let n_ops = rng.gen_usize(1..40);
             let mut t = OverflowTable::new();
             let mut m = Model::default();
             let mut cursor = 0u64;
-            for (is_insert, off, len) in ops {
+            for _ in 0..n_ops {
+                let is_insert = rng.gen_bool(0.5);
+                let off = rng.gen_range(0..200);
+                let len = rng.gen_range(1..50);
                 if is_insert {
                     t.insert(off, len, cursor);
                     m.insert(off, len, cursor);
@@ -259,9 +285,9 @@ mod tests {
                 let want = m.0.get(&b).copied();
                 let hits = t.lookup(b, 1);
                 let got = hits.first().map(|e| e.file_off);
-                prop_assert_eq!(got, want, "byte {}", b);
+                assert_eq!(got, want, "case {case} byte {b}");
             }
-            prop_assert_eq!(t.live_bytes() as usize, m.0.len());
+            assert_eq!(t.live_bytes() as usize, m.0.len(), "case {case}");
         }
     }
 }

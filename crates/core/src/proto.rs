@@ -10,8 +10,7 @@
 use crate::error::CsarError;
 use crate::layout::{Layout, Span};
 use crate::overflow::OverflowEntry;
-use csar_store::{Payload, StreamUsage};
-use serde::{Deserialize, Serialize};
+use csar_store::{FromJson, Json, JsonError, Payload, StreamUsage, ToJson};
 
 /// Identifies a client process.
 pub type ClientId = u32;
@@ -25,7 +24,7 @@ pub type ServerId = u32;
 /// (used in Figs. 3 and 6a to isolate synchronization overhead; it can
 /// leave parity inconsistent under concurrency), the latter skips the XOR
 /// itself (Fig. 4a's *RAID5-npc*, isolating parity-computation cost).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Plain PVFS striping, no redundancy.
     Raid0,
@@ -68,21 +67,53 @@ impl Scheme {
     pub fn uses_locking(self) -> bool {
         matches!(self, Scheme::Raid5 | Scheme::Raid5NoParityCompute | Scheme::Hybrid)
     }
+
+    /// Every scheme, including the instrumentation variants.
+    pub const ALL: [Scheme; 6] = [
+        Scheme::Raid0,
+        Scheme::Raid1,
+        Scheme::Raid5,
+        Scheme::Raid5NoLock,
+        Scheme::Raid5NoParityCompute,
+        Scheme::Hybrid,
+    ];
+}
+
+impl ToJson for Scheme {
+    fn to_json(&self) -> Json {
+        Json::from(self.label())
+    }
+}
+
+impl FromJson for Scheme {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let label = j.as_str().ok_or_else(|| JsonError("scheme must be a string".into()))?;
+        Scheme::ALL
+            .into_iter()
+            .find(|s| s.label() == label)
+            .ok_or_else(|| JsonError(format!("unknown scheme `{label}`")))
+    }
 }
 
 /// One parity block's worth of a parity write.
 #[derive(Debug, Clone)]
 pub struct ParityPart {
+    /// Parity-group index.
     pub group: u64,
+    /// Byte offset inside the group's parity block.
     pub intra: u64,
+    /// The parity bytes.
     pub payload: Payload,
 }
 
 /// Per-request header: everything a stateless I/O server needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReqHeader {
+    /// File handle.
     pub fh: u64,
+    /// Striping/parity layout of the file.
     pub layout: Layout,
+    /// Redundancy scheme of the file.
     pub scheme: Scheme,
 }
 
@@ -94,52 +125,134 @@ pub enum Request {
     /// full-group writes); `invalidate_mirror_spans` drops overlapping
     /// *mirror*-table entries for spans homed on the previous server.
     WriteData {
+        /// Request header.
         hdr: ReqHeader,
+        /// The spans to write, with their payloads.
         spans: Vec<(Span, Payload)>,
+        /// Drop overlapping overflow-table entries for these spans.
         invalidate_primary: bool,
+        /// Drop overlapping overflow-*mirror* entries for these spans.
         invalidate_mirror_spans: Vec<Span>,
     },
     /// Write mirror copies (RAID1) of blocks homed on the previous server.
-    WriteMirror { hdr: ReqHeader, spans: Vec<(Span, Payload)> },
+    WriteMirror {
+        /// Request header.
+        hdr: ReqHeader,
+        /// The spans to mirror, with their payloads.
+        spans: Vec<(Span, Payload)>,
+    },
     /// Write parity blocks (full-group path; no locking — a full-group
     /// write replaces parity wholesale). One request may carry the parity
     /// of several groups owned by this server.
     WriteParity {
+        /// Request header.
         hdr: ReqHeader,
+        /// Parity blocks to write.
         parts: Vec<ParityPart>,
+        /// Drop overlapping overflow-*mirror* entries for these spans.
         invalidate_mirror_spans: Vec<Span>,
     },
     /// Read parity without locking (recovery, verification, and the
     /// R5-NOLOCK variant).
-    ParityRead { hdr: ReqHeader, group: u64, intra: u64, len: u64 },
+    ParityRead {
+        /// Request header.
+        hdr: ReqHeader,
+        /// Parity-group index.
+        group: u64,
+        /// Byte offset inside the group's parity block.
+        intra: u64,
+        /// Bytes to read.
+        len: u64,
+    },
     /// §5.1: read parity and acquire the group's parity lock; queued
     /// behind an existing holder.
-    ParityReadLock { hdr: ReqHeader, group: u64, intra: u64, len: u64 },
+    ParityReadLock {
+        /// Request header.
+        hdr: ReqHeader,
+        /// Parity-group index (also the lock key).
+        group: u64,
+        /// Byte offset inside the group's parity block.
+        intra: u64,
+        /// Bytes to read.
+        len: u64,
+    },
     /// §5.1: write parity and release the lock (waking the next queued
     /// reader, if any).
-    ParityWriteUnlock { hdr: ReqHeader, group: u64, intra: u64, payload: Payload },
+    ParityWriteUnlock {
+        /// Request header.
+        hdr: ReqHeader,
+        /// Parity-group index (also the lock key).
+        group: u64,
+        /// Byte offset inside the group's parity block.
+        intra: u64,
+        /// The new parity bytes.
+        payload: Payload,
+    },
     /// Read spans from the data file (in-place contents only).
-    ReadData { hdr: ReqHeader, spans: Vec<Span> },
+    ReadData {
+        /// Request header.
+        hdr: ReqHeader,
+        /// The spans to read.
+        spans: Vec<Span>,
+    },
     /// Read spans from the mirror file (degraded RAID1 reads).
-    ReadMirror { hdr: ReqHeader, spans: Vec<Span> },
+    ReadMirror {
+        /// Request header.
+        hdr: ReqHeader,
+        /// The spans to read from the mirror file.
+        spans: Vec<Span>,
+    },
     /// Read spans returning the *latest* contents: in-place data overlaid
     /// with live overflow extents (the Hybrid read path).
-    ReadLatest { hdr: ReqHeader, spans: Vec<Span> },
+    ReadLatest {
+        /// Request header.
+        hdr: ReqHeader,
+        /// The spans to read (overflow-overlaid).
+        spans: Vec<Span>,
+    },
     /// Append partial-group data to the overflow region (`mirror` selects
     /// the overflow-mirror log) and record it in the overflow table.
-    OverflowWrite { hdr: ReqHeader, spans: Vec<(Span, Payload)>, mirror: bool },
+    OverflowWrite {
+        /// Request header.
+        hdr: ReqHeader,
+        /// The spans to append, with their payloads.
+        spans: Vec<(Span, Payload)>,
+        /// Write to the overflow-mirror log instead of the primary log.
+        mirror: bool,
+    },
     /// Fetch whatever live overflow extents overlap the spans.
-    OverflowFetch { hdr: ReqHeader, spans: Vec<Span>, mirror: bool },
+    OverflowFetch {
+        /// Request header.
+        hdr: ReqHeader,
+        /// The spans to probe for live overflow extents.
+        spans: Vec<Span>,
+        /// Probe the overflow-mirror table instead of the primary table.
+        mirror: bool,
+    },
     /// Dump the overflow table for this file (rebuild support).
-    DumpOverflowTable { hdr: ReqHeader, mirror: bool },
+    DumpOverflowTable {
+        /// Request header.
+        hdr: ReqHeader,
+        /// Dump the overflow-mirror table instead of the primary table.
+        mirror: bool,
+    },
     /// Storage usage for this file on this server (Table 2).
-    GetUsage { hdr: ReqHeader },
+    GetUsage {
+        /// Request header.
+        hdr: ReqHeader,
+    },
     /// Drop this file's blocks from the server's cache model (harness
     /// support for the paper's "overwrite after eviction" experiments).
-    EvictFile { hdr: ReqHeader },
+    EvictFile {
+        /// Request header.
+        hdr: ReqHeader,
+    },
     /// Compact this file's overflow logs, keeping only live extents —
     /// the background space-recovery process §6.7 proposes.
-    CompactOverflow { hdr: ReqHeader },
+    CompactOverflow {
+        /// Request header.
+        hdr: ReqHeader,
+    },
     /// Wipe the server (simulates replacing a failed disk, before rebuild).
     Wipe,
 }
@@ -148,16 +261,31 @@ pub enum Request {
 #[derive(Debug, Clone)]
 pub enum Response {
     /// Write-class request completed; `bytes` were stored.
-    Done { bytes: u64 },
+    Done {
+        /// Bytes stored by the request.
+        bytes: u64,
+    },
     /// Read-class request: spans assembled in request order (holes
     /// zero-filled).
-    Data { payload: Payload },
+    Data {
+        /// The assembled bytes.
+        payload: Payload,
+    },
     /// Sparse fetch results: `(logical_off, payload)` runs actually found.
-    Runs { runs: Vec<(u64, Payload)> },
+    Runs {
+        /// `(logical_off, payload)` runs actually found.
+        runs: Vec<(u64, Payload)>,
+    },
     /// Overflow-table dump.
-    Table { entries: Vec<OverflowEntry> },
+    Table {
+        /// The live overflow-table entries.
+        entries: Vec<OverflowEntry>,
+    },
     /// Storage usage.
-    Usage { usage: StreamUsage },
+    Usage {
+        /// Per-stream byte counts.
+        usage: StreamUsage,
+    },
     /// Failure.
     Err(CsarError),
 }

@@ -15,21 +15,115 @@ use crate::layout::Span;
 use crate::locks::{Acquire, ParityLockTable};
 use crate::overflow::OverflowTable;
 use crate::proto::{ClientId, DiskCost, ReqHeader, Request, Response, ServerId};
-use csar_store::{CacheModel, LocalStore, Payload, StoreImage, StreamKind, WriteBuffer};
-use serde::{Deserialize, Serialize};
+use csar_store::{
+    CacheModel, FromJson, Json, JsonError, LocalStore, Payload, StoreImage, StreamKind, ToJson,
+    WriteBuffer,
+};
 use std::collections::HashMap;
 
 /// A serializable snapshot of one I/O server's durable state: local
 /// files, overflow tables and slot maps. Volatile state (page cache,
 /// parity locks, statistics) starts cold on import, exactly as after a
 /// server restart.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ServerImage {
+    /// The server this image was taken from.
     pub id: ServerId,
+    /// Durable store contents (data/redundancy/overflow files).
     pub store: StoreImage,
+    /// Per-file primary overflow tables, as `(fh, entries)`.
     pub overflow: Vec<(u64, Vec<crate::overflow::OverflowEntry>)>,
+    /// Per-file overflow-mirror tables, as `(fh, entries)`.
     pub overflow_mirror: Vec<(u64, Vec<crate::overflow::OverflowEntry>)>,
+    /// Overflow slot map rows: `(fh, mirror, stripe block, slot offset)`.
     pub overflow_slots: Vec<(u64, bool, u64, u64)>,
+}
+
+impl ToJson for ServerImage {
+    fn to_json(&self) -> Json {
+        let tables = |t: &[(u64, Vec<crate::overflow::OverflowEntry>)]| {
+            Json::Arr(
+                t.iter()
+                    .map(|(fh, entries)| {
+                        Json::Arr(vec![
+                            Json::from(*fh),
+                            Json::Arr(entries.iter().map(ToJson::to_json).collect()),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        Json::obj([
+            ("id", Json::from(self.id)),
+            ("store", self.store.to_json()),
+            ("overflow", tables(&self.overflow)),
+            ("overflow_mirror", tables(&self.overflow_mirror)),
+            (
+                "overflow_slots",
+                Json::Arr(
+                    self.overflow_slots
+                        .iter()
+                        .map(|(fh, mirror, block, off)| {
+                            Json::Arr(vec![
+                                Json::from(*fh),
+                                Json::from(*mirror),
+                                Json::from(*block),
+                                Json::from(*off),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ServerImage {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let tables = |j: &Json| -> Result<Vec<(u64, Vec<crate::overflow::OverflowEntry>)>, JsonError> {
+            j.as_array()
+                .ok_or_else(|| JsonError("overflow tables must be an array".into()))?
+                .iter()
+                .map(|pair| {
+                    let fh = pair
+                        .at(0)
+                        .as_u64()
+                        .ok_or_else(|| JsonError("overflow table fh must be u64".into()))?;
+                    let entries = pair
+                        .at(1)
+                        .as_array()
+                        .ok_or_else(|| JsonError("overflow entries must be an array".into()))?
+                        .iter()
+                        .map(crate::overflow::OverflowEntry::from_json)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok((fh, entries))
+                })
+                .collect()
+        };
+        let slots = j
+            .field("overflow_slots")?
+            .as_array()
+            .ok_or_else(|| JsonError("overflow_slots must be an array".into()))?
+            .iter()
+            .map(|s| {
+                let num = |i: usize| {
+                    s.at(i).as_u64().ok_or_else(|| JsonError("slot fields must be u64".into()))
+                };
+                let mirror = s
+                    .at(1)
+                    .as_bool()
+                    .ok_or_else(|| JsonError("slot mirror flag must be a bool".into()))?;
+                Ok::<_, JsonError>((num(0)?, mirror, num(2)?, num(3)?))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ServerImage {
+            id: j.u64_field("id")? as ServerId,
+            store: StoreImage::from_json(j.field("store")?)?,
+            overflow: tables(j.field("overflow")?)?,
+            overflow_mirror: tables(j.field("overflow_mirror")?)?,
+            overflow_slots: slots,
+        })
+    }
 }
 
 /// Tuning knobs of one I/O server.
@@ -63,10 +157,15 @@ impl Default for ServerConfig {
 /// Cumulative statistics of one server.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServerStats {
+    /// Requests received.
     pub requests: u64,
+    /// Replies sent (includes lock-deferred wake-ups).
     pub replies: u64,
+    /// Parity reads parked behind a held lock (§5.1 contention).
     pub parked: u64,
+    /// Payload bytes stored across all streams.
     pub bytes_stored: u64,
+    /// Accumulated disk/cache activity.
     pub disk: DiskCost,
 }
 
@@ -86,13 +185,24 @@ struct Parked {
 pub enum Effect {
     /// Send `resp` to client `to`, answering its request `req_id`.
     /// `cost` is the disk/cache activity performing it required.
-    Reply { to: ClientId, req_id: u64, resp: Response, cost: DiskCost },
+    Reply {
+        /// Destination client.
+        to: ClientId,
+        /// The client request being answered.
+        req_id: u64,
+        /// The response body.
+        resp: Response,
+        /// Disk/cache activity performing the request required.
+        cost: DiskCost,
+    },
 }
 
 /// One CSAR I/O server.
 #[derive(Debug)]
 pub struct IoServer {
+    /// This server's identity in the cluster.
     pub id: ServerId,
+    /// Server configuration.
     pub cfg: ServerConfig,
     store: LocalStore,
     cache: CacheModel,
@@ -110,6 +220,7 @@ pub struct IoServer {
     /// storage exceed RAID1 for small-request workloads with a large
     /// stripe unit (paper Table 2, FLASH at 64 KB).
     overflow_slots: HashMap<(u64, bool, u64), u64>,
+    /// Cumulative statistics.
     pub stats: ServerStats,
 }
 
@@ -640,7 +751,7 @@ impl IoServer {
                 let last = (off + len - 1) / fs;
                 let stride = (RECV_CHUNK / fs).max(1) as usize;
                 let mut c: Vec<u64> = (first..=last).step_by(stride).collect();
-                if *c.last().unwrap() != last {
+                if c.last() != Some(&last) {
                     c.push(last);
                 }
                 c
@@ -690,7 +801,7 @@ impl IoServer {
             t.clear();
             self.store.reset_log(fh, stream);
             let table = if mirror { &mut self.overflow_mirror } else { &mut self.overflow };
-            let t = table.get_mut(&fh).expect("table vanished");
+            let Some(t) = table.get_mut(&fh) else { continue };
             for (logical_off, len, payload) in live {
                 let file_off = self.store.append(fh, stream, payload);
                 t.insert(logical_off, len, file_off);

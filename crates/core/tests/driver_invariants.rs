@@ -7,8 +7,7 @@ use csar_core::client::{Action, OpDriver, WriteDriver};
 use csar_core::manager::FileMeta;
 use csar_core::proto::{Request, Response, Scheme};
 use csar_core::Layout;
-use csar_store::Payload;
-use proptest::prelude::*;
+use csar_store::{Payload, SplitMix64};
 
 /// Drive a write to completion against synthetic servers, collecting
 /// every request sent.
@@ -45,23 +44,24 @@ fn collect_requests(meta: &FileMeta, off: u64, data: Vec<u8>) -> Vec<(u32, Reque
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 200, .. ProptestConfig::default() })]
+/// The union of primary data placements (in-place WriteData spans +
+/// primary OverflowWrite spans) partitions the write exactly, every
+/// span goes to the correct server, payload bytes match, and
+/// redundancy routes correctly. Deterministic seeded sweep (ex-proptest,
+/// 200 cases).
+#[test]
+fn write_plan_partitions_and_routes_correctly() {
+    const SCHEMES: [Scheme; 5] =
+        [Scheme::Raid0, Scheme::Raid1, Scheme::Raid5, Scheme::Raid5NoLock, Scheme::Hybrid];
+    const UNITS: [u64; 4] = [4, 16, 64, 256];
+    let mut rng = SplitMix64::new(0xD51E_0001);
+    for case in 0..200 {
+        let scheme = SCHEMES[rng.gen_usize(0..SCHEMES.len())];
+        let servers = rng.gen_range(2..8) as u32;
+        let unit = UNITS[rng.gen_usize(0..UNITS.len())];
+        let off = rng.gen_range(0..5_000);
+        let len = rng.gen_usize(1..4_000);
 
-    /// The union of primary data placements (in-place WriteData spans +
-    /// primary OverflowWrite spans) partitions the write exactly, every
-    /// span goes to the correct server, payload bytes match, and
-    /// redundancy routes correctly.
-    #[test]
-    fn write_plan_partitions_and_routes_correctly(
-        scheme in prop::sample::select(vec![
-            Scheme::Raid0, Scheme::Raid1, Scheme::Raid5, Scheme::Raid5NoLock, Scheme::Hybrid,
-        ]),
-        servers in 2u32..8,
-        unit in prop::sample::select(vec![4u64, 16, 64, 256]),
-        off in 0u64..5_000,
-        len in 1usize..4_000,
-    ) {
         let layout = Layout::new(servers, unit);
         let meta = FileMeta { fh: 1, name: "p".into(), scheme, layout, size: 1 << 20 };
         let data: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
@@ -74,12 +74,16 @@ proptest! {
                 Request::WriteData { spans, .. } => {
                     for (span, payload) in spans {
                         let block = layout.block_of(span.logical_off);
-                        prop_assert_eq!(layout.home_server(block), *srv, "data span on wrong server");
-                        prop_assert_eq!(payload.len(), span.len);
+                        assert_eq!(
+                            layout.home_server(block),
+                            *srv,
+                            "case {case}: data span on wrong server"
+                        );
+                        assert_eq!(payload.len(), span.len, "case {case}");
                         // Payload contents match the source bytes.
                         let want = &data[(span.logical_off - off) as usize
                             ..(span.logical_off - off + span.len) as usize];
-                        prop_assert_eq!(payload.as_bytes().unwrap().as_ref(), want);
+                        assert_eq!(payload.as_bytes().unwrap().as_ref(), want, "case {case}");
                         primary.push((span.logical_off, span.len));
                     }
                 }
@@ -91,8 +95,8 @@ proptest! {
                         } else {
                             layout.home_server(block)
                         };
-                        prop_assert_eq!(owner, *srv, "overflow span on wrong server");
-                        prop_assert_eq!(payload.len(), span.len);
+                        assert_eq!(owner, *srv, "case {case}: overflow span on wrong server");
+                        assert_eq!(payload.len(), span.len, "case {case}");
                         if *m {
                             mirror.push((span.logical_off, span.len));
                         } else {
@@ -103,31 +107,36 @@ proptest! {
                 Request::WriteMirror { spans, .. } => {
                     for (span, payload) in spans {
                         let block = layout.block_of(span.logical_off);
-                        prop_assert_eq!(layout.mirror_server(block), *srv);
-                        prop_assert_eq!(payload.len(), span.len);
+                        assert_eq!(layout.mirror_server(block), *srv, "case {case}");
+                        assert_eq!(payload.len(), span.len, "case {case}");
                         mirror.push((span.logical_off, span.len));
                     }
                 }
                 Request::WriteParity { parts, .. } => {
                     for part in parts {
-                        prop_assert_eq!(layout.parity_server(part.group), *srv, "parity on wrong server");
-                    }
-                }
-                Request::ParityWriteUnlock { group, .. } => {
-                    prop_assert_eq!(layout.parity_server(*group), *srv);
-                }
-                Request::ParityRead { group, .. } | Request::ParityReadLock { group, .. } => {
-                    prop_assert_eq!(layout.parity_server(*group), *srv);
-                }
-                Request::ReadData { spans, .. } => {
-                    for span in spans {
-                        prop_assert_eq!(
-                            layout.home_server(layout.block_of(span.logical_off)),
-                            *srv
+                        assert_eq!(
+                            layout.parity_server(part.group),
+                            *srv,
+                            "case {case}: parity on wrong server"
                         );
                     }
                 }
-                other => prop_assert!(false, "unexpected request {:?}", other),
+                Request::ParityWriteUnlock { group, .. } => {
+                    assert_eq!(layout.parity_server(*group), *srv, "case {case}");
+                }
+                Request::ParityRead { group, .. } | Request::ParityReadLock { group, .. } => {
+                    assert_eq!(layout.parity_server(*group), *srv, "case {case}");
+                }
+                Request::ReadData { spans, .. } => {
+                    for span in spans {
+                        assert_eq!(
+                            layout.home_server(layout.block_of(span.logical_off)),
+                            *srv,
+                            "case {case}"
+                        );
+                    }
+                }
+                other => panic!("case {case}: unexpected request {other:?}"),
             }
         }
 
@@ -135,20 +144,20 @@ proptest! {
         primary.sort_unstable();
         let mut cursor = off;
         for (o, l) in &primary {
-            prop_assert_eq!(*o, cursor, "gap or overlap in primary data placement");
+            assert_eq!(*o, cursor, "case {case}: gap or overlap in primary data placement");
             cursor += l;
         }
-        prop_assert_eq!(cursor, off + len as u64, "primary placement short");
+        assert_eq!(cursor, off + len as u64, "case {case}: primary placement short");
 
         // Mirrors: RAID1 mirrors everything; Hybrid mirrors exactly the
         // overflowed (partial) bytes; parity-only schemes mirror nothing.
         mirror.sort_unstable();
         match scheme {
             Scheme::Raid1 => {
-                prop_assert_eq!(&mirror, &primary, "RAID1 mirrors every byte");
+                assert_eq!(&mirror, &primary, "case {case}: RAID1 mirrors every byte");
             }
             Scheme::Hybrid => {
-                let overflowed: Vec<(u64, u64)> = reqs
+                let mut overflowed: Vec<(u64, u64)> = reqs
                     .iter()
                     .flat_map(|(_, r)| match r {
                         Request::OverflowWrite { spans, mirror: false, .. } => {
@@ -157,11 +166,10 @@ proptest! {
                         _ => Vec::new(),
                     })
                     .collect();
-                let mut overflowed = overflowed;
                 overflowed.sort_unstable();
-                prop_assert_eq!(&mirror, &overflowed, "Hybrid mirrors exactly its overflow");
+                assert_eq!(&mirror, &overflowed, "case {case}: Hybrid mirrors exactly its overflow");
             }
-            _ => prop_assert!(mirror.is_empty()),
+            _ => assert!(mirror.is_empty(), "case {case}"),
         }
 
         // Parity-group coverage: every whole group inside the write gets
@@ -181,7 +189,7 @@ proptest! {
                 groups.sort_unstable();
                 groups.dedup();
                 for g in layout.full_groups(fo, flen) {
-                    prop_assert!(groups.contains(&g), "whole group {} missing parity", g);
+                    assert!(groups.contains(&g), "case {case}: whole group {g} missing parity");
                 }
             }
         }

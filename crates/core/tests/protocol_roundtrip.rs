@@ -14,9 +14,7 @@ use csar_core::proto::{Request, Response, Scheme, ServerId};
 use csar_core::recovery::parity_consistent;
 use csar_core::server::{Effect, IoServer, ServerConfig};
 use csar_core::{CsarError, Layout};
-use csar_store::{Payload, StreamKind};
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use csar_store::{Payload, SplitMix64, StreamKind};
 
 /// A synchronous in-memory cluster for driving the state machines.
 struct MiniCluster {
@@ -107,7 +105,7 @@ fn meta(scheme: Scheme, servers: u32, unit: u64) -> FileMeta {
 }
 
 fn pattern(len: usize, seed: u64) -> Vec<u8> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut v = vec![0u8; len];
     rng.fill_bytes(&mut v);
     v
@@ -419,14 +417,14 @@ fn randomized_writes_match_reference_model() {
     for scheme in [Scheme::Raid0, Scheme::Raid1, Scheme::Raid5, Scheme::Hybrid] {
         for n in [2u32, 3, 5] {
             let unit = 16u64;
-            let mut rng = ChaCha8Rng::seed_from_u64(1000 + n as u64);
+            let mut rng = SplitMix64::new(1000 + n as u64);
             let mut c = MiniCluster::new(n);
             let m = meta(scheme, n, unit);
             let mut reference = vec![0u8; 600];
             for _ in 0..25 {
-                let off = rng.gen_range(0..500u64);
-                let len = rng.gen_range(1..=100usize).min(600 - off as usize);
-                let data = pattern(len, rng.gen());
+                let off = rng.gen_range(0..500);
+                let len = rng.gen_usize(1..101).min(600 - off as usize);
+                let data = pattern(len, rng.next_u64());
                 c.write(&m, off, &data).unwrap();
                 reference[off as usize..off as usize + len].copy_from_slice(&data);
             }

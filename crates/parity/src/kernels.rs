@@ -1,12 +1,12 @@
-//! The XOR kernel ladder: byte-wise → word-wise → unrolled → rayon-parallel.
+//! The XOR kernel ladder: byte-wise → word-wise → unrolled → thread-parallel.
 //!
 //! `xor_into` is the public entry point; it picks a kernel based on length.
-//! The individual kernels stay public so the criterion bench can measure
+//! The individual kernels stay public so the microbenchmarks can measure
 //! the Swift/RAID "word-at-a-time parity" effect directly.
 
-/// Threshold above which the rayon-parallel kernel pays for itself.
+/// Threshold above which the thread-parallel kernel pays for itself.
 ///
-/// Below this the thread-pool dispatch overhead dominates; the value was
+/// Below this the thread spawn/join overhead dominates; the value was
 /// chosen from the `parity_kernels` bench on a commodity x86-64 box.
 pub const PARALLEL_THRESHOLD: usize = 1 << 22; // 4 MiB
 
@@ -32,7 +32,22 @@ pub fn xor_into_bytewise(dst: &mut [u8], src: &[u8]) {
 #[inline]
 pub fn xor_into_wordwise(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "xor buffers must have equal length");
+    // `align_to_mut` guarantees the head/body/tail partition is exact
+    // and the body is properly aligned; the debug asserts below pin
+    // those contract points.
+    // SAFETY: u64 has no invalid bit patterns and no alignment-sensitive
+    // interior state, so viewing the aligned body as `u64`s is sound.
     let (d_head, d_body, d_tail) = unsafe { dst.align_to_mut::<u64>() };
+    debug_assert_eq!(
+        d_head.len() + d_body.len() * 8 + d_tail.len(),
+        src.len(),
+        "align_to_mut must partition the buffer exactly"
+    );
+    debug_assert_eq!(
+        d_body.as_ptr() as usize % std::mem::align_of::<u64>(),
+        0,
+        "align_to_mut body must be u64-aligned"
+    );
     // The head/tail split of `src` must mirror `dst`'s: XOR those ranges
     // byte-wise and the middle by reading unaligned u64s from `src`.
     let head = d_head.len();
@@ -74,19 +89,24 @@ pub fn xor_into_unrolled(dst: &mut [u8], src: &[u8]) {
     }
 }
 
-/// XOR `src` into `dst` splitting the buffers across the rayon pool.
+/// XOR `src` into `dst` splitting the buffers across scoped threads.
 ///
 /// Only worthwhile for multi-megabyte buffers; see [`PARALLEL_THRESHOLD`].
 ///
 /// # Panics
 /// Panics if lengths differ.
 pub fn xor_into_parallel(dst: &mut [u8], src: &[u8]) {
-    use rayon::prelude::*;
     assert_eq!(dst.len(), src.len(), "xor buffers must have equal length");
     const PAR_CHUNK: usize = 1 << 20;
-    dst.par_chunks_mut(PAR_CHUNK)
-        .zip(src.par_chunks(PAR_CHUNK))
-        .for_each(|(d, s)| xor_into_unrolled(d, s));
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if workers <= 1 || dst.len() <= PAR_CHUNK {
+        return xor_into_unrolled(dst, src);
+    }
+    std::thread::scope(|scope| {
+        for (d, s) in dst.chunks_mut(PAR_CHUNK).zip(src.chunks(PAR_CHUNK)) {
+            scope.spawn(move || xor_into_unrolled(d, s));
+        }
+    });
 }
 
 /// XOR `src` into `dst`, selecting the fastest kernel for the length.
@@ -105,7 +125,22 @@ pub fn xor_into(dst: &mut [u8], src: &[u8]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Local SplitMix64 copy: csar-parity is the workspace's root crate
+    /// and cannot depend on csar-store, where the canonical one lives.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn bytes(&mut self, len: usize) -> Vec<u8> {
+            (0..len).map(|_| self.next() as u8).collect()
+        }
+    }
 
     fn reference_xor(dst: &[u8], src: &[u8]) -> Vec<u8> {
         dst.iter().zip(src).map(|(a, b)| a ^ b).collect()
@@ -127,6 +162,19 @@ mod tests {
             kernel(&mut dst, &src);
             assert_eq!(dst, want);
         }
+    }
+
+    #[test]
+    fn parallel_kernel_agrees_on_multi_chunk_input() {
+        let len = (1 << 20) * 3 + 17; // three parallel chunks plus a tail
+        let mut rng = Rng(99);
+        let base = rng.bytes(len);
+        let src = rng.bytes(len);
+        let mut dst = base.clone();
+        xor_into_parallel(&mut dst, &src);
+        let mut want = base;
+        xor_into_unrolled(&mut want, &src);
+        assert_eq!(dst, want);
     }
 
     #[test]
@@ -157,11 +205,16 @@ mod tests {
         xor_into(&mut dst, &[0u8; 4]);
     }
 
-    proptest! {
-        #[test]
-        fn kernels_match_reference(dst in proptest::collection::vec(any::<u8>(), 0..4096),
-                                   seed in any::<u64>()) {
-            let src: Vec<u8> = dst.iter().enumerate()
+    #[test]
+    fn kernels_match_reference() {
+        for case in 0u64..100 {
+            let mut rng = Rng(0xD00D + case);
+            let len = (rng.next() % 4096) as usize;
+            let dst = rng.bytes(len);
+            let seed = rng.next();
+            let src: Vec<u8> = dst
+                .iter()
+                .enumerate()
                 .map(|(i, _)| (seed.wrapping_mul(i as u64 + 1) >> 32) as u8)
                 .collect();
             let want = reference_xor(&dst, &src);
@@ -172,17 +225,22 @@ mod tests {
             ] {
                 let mut d = dst.clone();
                 kernel(&mut d, &src);
-                prop_assert_eq!(&d, &want);
+                assert_eq!(&d, &want, "case {case}");
             }
         }
+    }
 
-        #[test]
-        fn xor_is_involutive(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+    #[test]
+    fn xor_is_involutive() {
+        for case in 0u64..100 {
+            let mut rng = Rng(0xF00 + case);
+            let len = (rng.next() % 2048) as usize;
+            let data = rng.bytes(len);
             let src: Vec<u8> = data.iter().map(|b| b.rotate_left(3)).collect();
             let mut d = data.clone();
             xor_into(&mut d, &src);
             xor_into(&mut d, &src);
-            prop_assert_eq!(d, data);
+            assert_eq!(d, data, "case {case}");
         }
     }
 }

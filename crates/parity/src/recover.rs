@@ -27,7 +27,6 @@ pub fn reconstruct(survivors: &[&[u8]]) -> Vec<u8> {
 mod tests {
     use super::*;
     use crate::parity_of;
-    use proptest::prelude::*;
 
     #[test]
     fn recovers_each_member_of_a_group() {
@@ -61,23 +60,32 @@ mod tests {
         reconstruct(&[]);
     }
 
-    proptest! {
-        #[test]
-        fn reconstruction_roundtrip(
-            group in proptest::collection::vec(
-                proptest::collection::vec(any::<u8>(), 32..=32), 1..6),
-            lost_idx in any::<prop::sample::Index>(),
-        ) {
+    /// Deterministic property test: every member of a random group is
+    /// recoverable from the others plus parity (seeded SplitMix64).
+    #[test]
+    fn reconstruction_roundtrip() {
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for case in 0..200 {
+            let members = (next() % 5 + 1) as usize;
+            let group: Vec<Vec<u8>> =
+                (0..members).map(|_| (0..32).map(|_| next() as u8).collect()).collect();
             let refs: Vec<&[u8]> = group.iter().map(|b| b.as_slice()).collect();
             let parity = parity_of(&refs);
-            let lost = lost_idx.index(group.len());
+            let lost = (next() % members as u64) as usize;
             let mut survivors: Vec<&[u8]> = vec![&parity];
             for (i, b) in group.iter().enumerate() {
                 if i != lost {
                     survivors.push(b);
                 }
             }
-            prop_assert_eq!(reconstruct(&survivors), group[lost].clone());
+            assert_eq!(reconstruct(&survivors), group[lost], "case {case}");
         }
     }
 }

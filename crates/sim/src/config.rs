@@ -6,10 +6,8 @@
 //! robust to moderate miscalibration. Every knob is public so the bench
 //! binaries can run sensitivity sweeps.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-node hardware parameters of a simulated cluster.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct HwProfile {
     /// NIC link bandwidth, bytes/s (each direction modelled separately).
     pub nic_bw: f64,

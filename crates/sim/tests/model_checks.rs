@@ -3,7 +3,7 @@
 
 use csar_core::proto::Scheme;
 use csar_sim::{transfer_ns, DiskModel, HwProfile, Op, SimCluster, SEC};
-use proptest::prelude::*;
+use csar_store::SplitMix64;
 
 #[test]
 fn single_server_write_rate_approaches_copy_bandwidth() {
@@ -64,11 +64,15 @@ fn raid1_steady_state_is_half_of_raid0_when_server_bound() {
     assert!((ratio - 0.5).abs() < 0.07, "RAID1/RAID0 = {ratio:.2} (want ≈0.5)");
 }
 
-proptest! {
-    /// FIFO resources conserve work: serving N items of fixed duration
-    /// back to back always ends at exactly N·d past the first start.
-    #[test]
-    fn fifo_resource_conserves_work(durations in proptest::collection::vec(1u64..10_000, 1..50)) {
+/// FIFO resources conserve work: serving N items of fixed duration
+/// back to back always ends at exactly N·d past the first start.
+/// Deterministic seeded sweep (ex-proptest, 256 cases).
+#[test]
+fn fifo_resource_conserves_work() {
+    let mut rng = SplitMix64::new(0x51F0_0001);
+    for case in 0..256 {
+        let n = rng.gen_usize(1..50);
+        let durations: Vec<u64> = (0..n).map(|_| rng.gen_range(1..10_000)).collect();
         let mut r = csar_sim::FifoResource::new();
         let mut sum = 0;
         let mut last = 0;
@@ -76,32 +80,48 @@ proptest! {
             last = r.acquire(0, *d);
             sum += d;
         }
-        prop_assert_eq!(last, sum);
+        assert_eq!(last, sum, "case {case}");
     }
+}
 
-    /// Disk writes never let a writer finish before `now`, and the flush
-    /// horizon is monotone.
-    #[test]
-    fn disk_write_monotonicity(writes in proptest::collection::vec((0u64..SEC, 1u64..50_000_000), 1..40)) {
+/// Disk writes never let a writer finish before `now`, and the flush
+/// horizon is monotone. Deterministic seeded sweep (ex-proptest, 256
+/// cases).
+#[test]
+fn disk_write_monotonicity() {
+    let mut rng = SplitMix64::new(0x51F0_0002);
+    for case in 0..256 {
+        let n = rng.gen_usize(1..40);
+        let writes: Vec<(u64, u64)> =
+            (0..n).map(|_| (rng.gen_range(0..SEC), rng.gen_range(1..50_000_000))).collect();
         let mut d = DiskModel::new(50e6, 50e6, 1_000_000, 16 << 20);
         let mut horizon = 0;
         let mut clock = 0;
         for (dt, bytes) in writes {
             clock += dt;
             let done = d.write(clock, bytes);
-            prop_assert!(done >= clock);
-            prop_assert!(d.flush_horizon() >= horizon, "flush horizon went backwards");
-            prop_assert!(d.flush_horizon() >= done.saturating_sub(transfer_ns(16 << 20, 50e6)));
+            assert!(done >= clock, "case {case}");
+            assert!(d.flush_horizon() >= horizon, "case {case}: flush horizon went backwards");
+            assert!(
+                d.flush_horizon() >= done.saturating_sub(transfer_ns(16 << 20, 50e6)),
+                "case {case}"
+            );
             horizon = d.flush_horizon();
         }
     }
+}
 
-    /// transfer_ns is additive up to rounding: splitting a transfer never
-    /// changes the total by more than the rounding slop.
-    #[test]
-    fn transfer_ns_is_nearly_additive(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+/// transfer_ns is additive up to rounding: splitting a transfer never
+/// changes the total by more than the rounding slop. Deterministic
+/// seeded sweep (ex-proptest, 512 cases).
+#[test]
+fn transfer_ns_is_nearly_additive() {
+    let mut rng = SplitMix64::new(0x51F0_0003);
+    for case in 0..512 {
+        let a = rng.gen_range(1..1_000_000);
+        let b = rng.gen_range(1..1_000_000);
         let whole = transfer_ns(a + b, 100e6);
         let split = transfer_ns(a, 100e6) + transfer_ns(b, 100e6);
-        prop_assert!((whole as i64 - split as i64).abs() <= 2);
+        assert!((whole as i64 - split as i64).abs() <= 2, "case {case}: a={a} b={b}");
     }
 }

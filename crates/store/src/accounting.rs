@@ -1,11 +1,10 @@
 //! Storage-usage accounting (paper Table 2).
 
 use crate::local::StreamKind;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Bytes stored per stream kind.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamUsage {
     pub data: u64,
     pub mirror: u64,
@@ -74,7 +73,7 @@ impl fmt::Display for StreamUsage {
 
 /// A cluster-wide storage report: one [`StreamUsage`] per I/O server plus
 /// the aggregate.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StorageReport {
     pub per_server: Vec<StreamUsage>,
 }

@@ -23,6 +23,12 @@
 //! * [`WriteBuffer`] — the §5.2 fix: accumulate network chunks into
 //!   aligned file-system blocks before writing, so non-blocking receives
 //!   do not cause partial-block writes.
+//! * [`Bytes`]/[`BytesMut`] and [`Json`] — std-only replacements for the
+//!   `bytes` and `serde_json` crates, keeping the workspace hermetic.
+
+pub mod bytes;
+pub mod json;
+pub mod rng;
 
 mod accounting;
 mod cache;
@@ -32,8 +38,11 @@ mod sparse;
 mod write_buffer;
 
 pub use accounting::{fmt_mb, StorageReport, StreamUsage};
+pub use bytes::{Bytes, BytesMut};
 pub use cache::{CacheModel, FileKey};
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use local::{LocalStore, StoreImage, StreamKind};
 pub use payload::Payload;
+pub use rng::SplitMix64;
 pub use sparse::SparseFile;
 pub use write_buffer::{FlushedBlock, WriteBuffer};

@@ -1,18 +1,88 @@
 //! The per-server collection of local files backing CSAR parallel files.
 
 use crate::accounting::StreamUsage;
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::payload::Payload;
 use crate::sparse::SparseFile;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A serializable snapshot of one server's [`LocalStore`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StoreImage {
     /// `(fh, stream, extents, logical size)` per local file.
     pub files: Vec<(u64, StreamKind, Vec<(u64, Payload)>, u64)>,
     /// Overflow-log append cursors.
     pub cursors: Vec<(u64, StreamKind, u64)>,
+}
+
+impl ToJson for StoreImage {
+    fn to_json(&self) -> Json {
+        let files = self.files.iter().map(|(fh, stream, extents, size)| {
+            Json::obj([
+                ("fh", Json::from(*fh)),
+                ("stream", stream.to_json()),
+                (
+                    "extents",
+                    Json::Arr(
+                        extents
+                            .iter()
+                            .map(|(off, p)| Json::Arr(vec![Json::from(*off), p.to_json()]))
+                            .collect(),
+                    ),
+                ),
+                ("size", Json::from(*size)),
+            ])
+        });
+        let cursors = self.cursors.iter().map(|(fh, stream, cur)| {
+            Json::Arr(vec![Json::from(*fh), stream.to_json(), Json::from(*cur)])
+        });
+        Json::obj([("files", Json::Arr(files.collect())), ("cursors", Json::Arr(cursors.collect()))])
+    }
+}
+
+impl FromJson for StoreImage {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let files = j
+            .field("files")?
+            .as_array()
+            .ok_or_else(|| JsonError("`files` must be an array".into()))?
+            .iter()
+            .map(|f| {
+                let extents = f
+                    .field("extents")?
+                    .as_array()
+                    .ok_or_else(|| JsonError("`extents` must be an array".into()))?
+                    .iter()
+                    .map(|e| {
+                        let off = e
+                            .at(0)
+                            .as_u64()
+                            .ok_or_else(|| JsonError("extent offset must be a u64".into()))?;
+                        Ok((off, Payload::from_json(e.at(1))?))
+                    })
+                    .collect::<Result<Vec<_>, JsonError>>()?;
+                Ok((
+                    f.u64_field("fh")?,
+                    StreamKind::from_json(f.field("stream")?)?,
+                    extents,
+                    f.u64_field("size")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let cursors = j
+            .field("cursors")?
+            .as_array()
+            .ok_or_else(|| JsonError("`cursors` must be an array".into()))?
+            .iter()
+            .map(|c| {
+                let fh = c.at(0).as_u64().ok_or_else(|| JsonError("cursor fh must be a u64".into()))?;
+                let cur =
+                    c.at(2).as_u64().ok_or_else(|| JsonError("cursor offset must be a u64".into()))?;
+                Ok((fh, StreamKind::from_json(c.at(1))?, cur))
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(StoreImage { files, cursors })
+    }
 }
 
 /// The local streams a CSAR I/O server keeps for one parallel file.
@@ -26,13 +96,29 @@ pub struct StoreImage {
 ///   partial-stripe writes (append-only).
 /// * `OverflowMirror` — mirror copies of the *previous* server's overflow
 ///   appends.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StreamKind {
     Data,
     Mirror,
     Parity,
     Overflow,
     OverflowMirror,
+}
+
+impl ToJson for StreamKind {
+    fn to_json(&self) -> Json {
+        Json::from(self.label())
+    }
+}
+
+impl FromJson for StreamKind {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let label = j.as_str().ok_or_else(|| JsonError("stream kind must be a string".into()))?;
+        StreamKind::ALL
+            .into_iter()
+            .find(|k| k.label() == label)
+            .ok_or_else(|| JsonError(format!("unknown stream kind `{label}`")))
+    }
 }
 
 impl StreamKind {
@@ -282,6 +368,21 @@ mod tests {
         // Append cursor survives: next append lands after the old data.
         let mut restored = restored;
         assert_eq!(restored.append(1, StreamKind::Overflow, Payload::from_vec(vec![7])), 8);
+    }
+
+    #[test]
+    fn store_image_json_roundtrip() {
+        let mut s = LocalStore::new();
+        s.write(1, StreamKind::Data, 5, Payload::from_vec(vec![1, 2, 3]));
+        s.write(2, StreamKind::Parity, 0, Payload::Phantom(64));
+        s.append(1, StreamKind::Overflow, Payload::from_vec(vec![9; 8]));
+        let image = s.export();
+        let text = image.to_json().to_string();
+        let back = StoreImage::from_json(&Json::parse(&text).unwrap()).unwrap();
+        let restored = LocalStore::import(back);
+        assert_eq!(restored.read(1, StreamKind::Data, 5, 3), Payload::from_vec(vec![1, 2, 3]));
+        assert_eq!(restored.read(2, StreamKind::Parity, 0, 64), Payload::Phantom(64));
+        assert_eq!(restored.usage_for(1), s.usage_for(1));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Write/read payloads: real bytes or phantom (length-only).
 
-use bytes::{Bytes, BytesMut};
+use crate::bytes::{Bytes, BytesMut};
+use crate::json::{hex_decode, hex_encode, FromJson, Json, JsonError, ToJson};
 use csar_parity::xor_into;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A payload travelling through the CSAR data path.
@@ -24,29 +24,24 @@ pub enum Payload {
     Phantom(u64),
 }
 
-/// Serde mirror of [`Payload`] (used by store snapshots).
-#[derive(Serialize, Deserialize)]
-enum PayloadRepr {
-    Data(Vec<u8>),
-    Phantom(u64),
-}
-
-impl Serialize for Payload {
-    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
-        let repr = match self {
-            Payload::Data(b) => PayloadRepr::Data(b.to_vec()),
-            Payload::Phantom(l) => PayloadRepr::Phantom(*l),
-        };
-        repr.serialize(ser)
+impl ToJson for Payload {
+    fn to_json(&self) -> Json {
+        match self {
+            Payload::Data(b) => Json::obj([("data", Json::from(hex_encode(b)))]),
+            Payload::Phantom(l) => Json::obj([("phantom", Json::from(*l))]),
+        }
     }
 }
 
-impl<'de> Deserialize<'de> for Payload {
-    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
-        Ok(match PayloadRepr::deserialize(de)? {
-            PayloadRepr::Data(v) => Payload::Data(Bytes::from(v)),
-            PayloadRepr::Phantom(l) => Payload::Phantom(l),
-        })
+impl FromJson for Payload {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        if let Some(hex) = j.get("data").as_str() {
+            return Ok(Payload::Data(Bytes::from(hex_decode(hex)?)));
+        }
+        if let Some(len) = j.get("phantom").as_u64() {
+            return Ok(Payload::Phantom(len));
+        }
+        Err(JsonError("payload must have a `data` or `phantom` field".into()))
     }
 }
 

@@ -207,7 +207,7 @@ impl SparseFile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SplitMix64;
 
     fn data(v: &[u8]) -> Payload {
         Payload::from_vec(v.to_vec())
@@ -354,33 +354,40 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn matches_flat_model(ops in proptest::collection::vec(
-            (0u64..128, proptest::collection::vec(any::<u8>(), 1..32)), 1..40))
-        {
+    /// Deterministic property test: random write sequences against the
+    /// flat reference model (seeded, so failures reproduce exactly).
+    #[test]
+    fn matches_flat_model() {
+        for case in 0u64..200 {
+            let mut rng = SplitMix64::new(0xC5A2_0000 + case);
+            let n_ops = rng.gen_usize(1..40);
             let mut f = SparseFile::new();
             let mut m = Model::default();
-            for (off, d) in &ops {
-                f.write(*off, Payload::from_vec(d.clone()));
-                m.write(*off as usize, d);
+            for _ in 0..n_ops {
+                let off = rng.gen_range(0..128);
+                let len = rng.gen_usize(1..32);
+                let mut d = vec![0u8; len];
+                rng.fill_bytes(&mut d);
+                f.write(off, Payload::from_vec(d.clone()));
+                m.write(off as usize, &d);
             }
-            prop_assert_eq!(f.size() as usize, m.bytes.len());
-            prop_assert_eq!(
+            assert_eq!(f.size() as usize, m.bytes.len(), "case {case}");
+            assert_eq!(
                 f.covered() as usize,
-                m.covered.iter().filter(|c| **c).count()
+                m.covered.iter().filter(|c| **c).count(),
+                "case {case}"
             );
             // Reads at assorted ranges agree.
             for (off, len) in [(0u64, 160u64), (5, 40), (100, 64), (130, 10)] {
                 let got = f.read_zero_filled(off, len);
                 let want = m.read(off as usize, len as usize);
-                prop_assert_eq!(got, Payload::from_vec(want));
+                assert_eq!(got, Payload::from_vec(want), "case {case}");
             }
             // range_covered agrees with the bitmap on a few probes.
             for (off, len) in [(0u64, 10u64), (20, 5), (60, 30)] {
                 let want = (off..off + len)
                     .all(|i| (i as usize) < m.covered.len() && m.covered[i as usize]);
-                prop_assert_eq!(f.range_covered(off, len), want);
+                assert_eq!(f.range_covered(off, len), want, "case {case}");
             }
         }
     }

@@ -20,8 +20,7 @@
 
 use crate::{kib, Workload};
 use csar_sim::{Op, Phase};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use csar_store::SplitMix64;
 
 /// FLASH unknowns in the checkpoint file.
 pub const NVARS: usize = 24;
@@ -63,7 +62,7 @@ struct FilePlan {
 /// chunk sizes are deterministic.
 pub fn workload(base: usize, procs: usize, seed: u64) -> Workload {
     assert!(procs > 0);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let header_extent = kib(256);
     let globals_extent = GLOBAL_MEDIUM as u64 * GLOBAL_MEDIUM_BYTES;
     let plans = [

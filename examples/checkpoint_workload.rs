@@ -14,8 +14,7 @@ use csar::cluster::Cluster;
 use csar::core::proto::Scheme;
 use csar::core::recovery::parity_consistent;
 use csar::store::StreamKind;
-use rand::{RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use csar::store::SplitMix64;
 use std::time::Instant;
 
 const PROCS: usize = 4;
@@ -24,7 +23,7 @@ const DUMP_BYTES: u64 = 4 << 20; // per collective dump
 const UNIT: u64 = 16 * 1024;
 
 fn pattern(len: usize, seed: u64) -> Vec<u8> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut v = vec![0u8; len];
     rng.fill_bytes(&mut v);
     v

@@ -12,11 +12,10 @@
 
 use csar::cluster::Cluster;
 use csar::core::proto::Scheme;
-use rand::{RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use csar::store::SplitMix64;
 
 fn pattern(len: usize, seed: u64) -> Vec<u8> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut v = vec![0u8; len];
     rng.fill_bytes(&mut v);
     v

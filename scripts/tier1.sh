@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, tests, then the first-party static analysis and
+# the parity-lock model checker (ROADMAP.md "Tier-1 verify" plus the
+# csar-analysis passes). Any failing step fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo run -q -p csar-analysis -- lint
+cargo run -q -p csar-analysis -- check
