@@ -267,8 +267,13 @@ fn cfg_test_lines(lines: &[&str]) -> Vec<bool> {
 }
 
 /// Is this file part of a request path for `no-unwrap-request-path`?
+/// Covers the core protocol state machines and the live transport's
+/// client engine (PR 2: a lost or duplicated reply must surface as
+/// `CsarError::Transport`, never a panic).
 fn in_request_path(rel: &str) -> bool {
-    rel == "crates/core/src/server.rs" || rel.starts_with("crates/core/src/client/")
+    rel == "crates/core/src/server.rs"
+        || rel.starts_with("crates/core/src/client/")
+        || rel == "crates/cluster/src/client.rs"
 }
 
 /// The textual form of the §5.1 guard `lock-order-ascending` requires.
@@ -396,7 +401,9 @@ mod tests {
         let body = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n";
         assert_eq!(lint_str("crates/core/src/server.rs", body).violations.len(), 1);
         assert_eq!(lint_str("crates/core/src/client/write.rs", body).violations.len(), 1);
+        assert_eq!(lint_str("crates/cluster/src/client.rs", body).violations.len(), 1);
         assert!(lint_str("crates/core/src/layout.rs", body).violations.is_empty());
+        assert!(lint_str("crates/cluster/src/node.rs", body).violations.is_empty());
     }
 
     #[test]

@@ -25,17 +25,12 @@ impl Instant {
 
     fn write(&mut self, meta: &FileMeta, off: u64, payload: Payload) {
         let mut d = WriteDriver::new(meta, off, payload);
-        run_driver(&mut d, |batch| {
-            let mut replies = Vec::with_capacity(batch.len());
-            for (srv, req) in batch {
-                let id = self.next;
-                self.next += 1;
-                let effects = self.servers[srv as usize].handle(0, id, req);
-                for Effect::Reply { resp, .. } in effects {
-                    replies.push(resp);
-                }
-            }
-            Ok(replies)
+        run_driver(&mut d, |srv, req| {
+            let id = self.next;
+            self.next += 1;
+            let mut effects = self.servers[srv as usize].handle(0, id, req);
+            let Effect::Reply { resp, .. } = effects.pop().expect("server answered nothing");
+            Ok(resp)
         })
         .expect("write failed");
     }

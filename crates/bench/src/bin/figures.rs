@@ -59,6 +59,7 @@ fn main() {
     let mut which: Vec<String> = Vec::new();
     let mut scale = 1.0f64;
     let mut json_path: Option<String> = None;
+    let mut bench_json_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -71,10 +72,21 @@ fn main() {
             "--json" => {
                 json_path = Some(it.next().cloned().unwrap_or_else(|| usage("missing path for --json")));
             }
+            "--bench-json" => {
+                // Optional path operand; defaults to BENCH_pipeline.json.
+                let path = match it.clone().next() {
+                    Some(p) if p.ends_with(".json") => {
+                        it.next();
+                        p.clone()
+                    }
+                    _ => "BENCH_pipeline.json".to_string(),
+                };
+                bench_json_path = Some(path);
+            }
             other => which.push(other.to_string()),
         }
     }
-    if which.is_empty() {
+    if which.is_empty() && bench_json_path.is_none() {
         which.push("all".into());
     }
     let opts = FigOpts { scale };
@@ -111,6 +123,9 @@ fn main() {
     if wants("extensions") || which.iter().any(|w| w.starts_with("ext")) {
         extensions(&opts);
     }
+    if let Some(path) = bench_json_path {
+        bench_pipeline(&path);
+    }
     if let Some(path) = json_path {
         let doc = JSON_OUT.with(|m| Json::Obj(m.borrow().clone()));
         let body = Json::obj([("scale", Json::from(scale)), ("results", doc)]).to_pretty();
@@ -126,9 +141,58 @@ wrote machine-readable results to {path}");
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: figures [fig1|fig3|fig4a|fig4b|fig5|fig6|fig7|fig8|table2|extensions|all] [--scale S]"
+        "usage: figures [fig1|fig3|fig4a|fig4b|fig5|fig6|fig7|fig8|table2|extensions|all] [--scale S] [--json PATH] [--bench-json [PATH]]"
     );
     std::process::exit(2);
+}
+
+/// The PR 2 pipelining ablation: barrier vs completion-driven delivery
+/// on the simulator, dumped as machine-readable JSON (default
+/// `BENCH_pipeline.json`).
+fn bench_pipeline(path: &str) {
+    header("Pipelined vs batch-barrier completion delivery");
+    let grid = csar_bench::pipeline::compare_all();
+    println!(
+        "{:>13} {:>8} {:>5} {:>13} {:>13} {:>8} {:>10} {:>9}",
+        "case", "scheme", "slow", "barrier ns", "pipelined ns", "speedup", "stall ns", "inflight"
+    );
+    let cases = grid
+        .iter()
+        .map(|c| {
+            println!(
+                "{:>13} {:>8} {:>5} {:>13} {:>13} {:>7.2}x {:>10} {:>9}",
+                c.case,
+                c.scheme.label(),
+                c.slow_servers,
+                c.barrier.duration_ns,
+                c.pipelined.duration_ns,
+                c.speedup(),
+                c.barrier.stall_ns,
+                c.pipelined.max_in_flight,
+            );
+            Json::obj([
+                ("case", Json::from(c.case)),
+                ("scheme", Json::from(c.scheme.label())),
+                ("slow_servers", Json::from(c.slow_servers as u64)),
+                ("slowdown_ns", Json::from(csar_bench::pipeline::SLOWDOWN_NS)),
+                ("barrier_ns", Json::from(c.barrier.duration_ns)),
+                ("pipelined_ns", Json::from(c.pipelined.duration_ns)),
+                ("speedup", Json::from(c.speedup())),
+                ("barrier_stall_ns", Json::from(c.barrier.stall_ns)),
+                ("pipelined_stall_ns", Json::from(c.pipelined.stall_ns)),
+                ("barrier_max_in_flight", Json::from(c.barrier.max_in_flight)),
+                ("pipelined_max_in_flight", Json::from(c.pipelined.max_in_flight)),
+                ("requests", Json::from(c.pipelined.requests)),
+                ("ttfb_ns", Json::from(c.pipelined.ttfb_ns)),
+            ])
+        })
+        .collect();
+    let body = Json::obj([("cases", Json::Arr(cases))]).to_pretty();
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote pipelining ablation to {path}");
 }
 
 fn header(title: &str) {

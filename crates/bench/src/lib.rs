@@ -16,6 +16,7 @@ pub mod extensions;
 pub mod figures;
 pub mod harness;
 pub mod par;
+pub mod pipeline;
 pub mod trace;
 pub mod trends;
 

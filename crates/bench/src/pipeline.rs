@@ -1,0 +1,180 @@
+//! Barrier vs pipelined completion delivery — the ablation behind
+//! `BENCH_pipeline.json`.
+//!
+//! The completion-driven drivers deliver each server reply to the op
+//! state machine the moment it arrives and fan independent work out at
+//! `Begin`; the retired batch engine held every reply until the whole
+//! in-flight wave had returned and issued writes in reply-gated waves.
+//! The simulator reproduces the old behaviour via
+//! [`SimCluster::set_barrier_mode`] (held reply delivery + the write
+//! drivers' batch issue order), so both protocols run the *same*
+//! `csar-core` state machines on the same modelled hardware and the
+//! difference is purely the completion schedule. Two shapes bracket
+//! the effect:
+//!
+//! * **one_block** — single-group RMW writes. Every wave must fully
+//!   drain before the next depends on it, so pipelining can only move
+//!   delivery earlier, never change the wave structure: pipelined must
+//!   never lose.
+//! * **multi_stripe** — one write spanning many parity groups. The
+//!   partial groups' lock → read → compute → unlock chain is
+//!   independent of the full-stripe data writes beside it, but the
+//!   batch engine serialized the whole-group body behind that chain,
+//!   so pipelining wins outright and the margin widens when slow
+//!   servers stretch each barrier wave. Hybrid is *insensitive*
+//!   by construction — its partial groups become lock-free overflow
+//!   appends issued at `Begin`, so there is no dependent reply chain
+//!   left to pipeline. That flat speedup is itself evidence for the
+//!   paper's small-write design.
+
+use csar_core::proto::Scheme;
+use csar_sim::{HwProfile, Op, RunStats, SimCluster};
+
+/// Extra service latency charged per request at a "slow" server: 3 ms,
+/// a plausibly overloaded-but-alive node (long device queue, competing
+/// traffic) rather than a failed one. Large enough to land on the
+/// critical path of a barrier-gated wave instead of hiding under the
+/// client's own NIC serialization of a multi-megabyte write.
+pub const SLOWDOWN_NS: u64 = 3_000_000;
+
+/// One barrier-vs-pipelined measurement.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Workload shape: `one_block` or `multi_stripe`.
+    pub case: &'static str,
+    pub scheme: Scheme,
+    /// How many servers had [`SLOWDOWN_NS`] applied.
+    pub slow_servers: u32,
+    pub barrier: RunStats,
+    pub pipelined: RunStats,
+}
+
+impl Comparison {
+    /// Barrier makespan over pipelined makespan (>1 ⇒ pipelined wins).
+    pub fn speedup(&self) -> f64 {
+        self.barrier.duration_ns as f64 / self.pipelined.duration_ns.max(1) as f64
+    }
+}
+
+/// Run one measured phase on a fresh cluster. The setup pre-write and
+/// disk settle run at full speed; slowdowns and the delivery policy
+/// apply only to the measured ops.
+fn run_once(
+    scheme: Scheme,
+    servers: u32,
+    unit: u64,
+    slow_servers: u32,
+    barrier: bool,
+    setup_len: u64,
+    ops: Vec<Op>,
+) -> RunStats {
+    let mut sim = SimCluster::new(HwProfile::myrinet_pentium3(), servers, 1);
+    let file = sim.create_file("pipeline", scheme, unit);
+    assert_eq!(file, 0);
+    if setup_len > 0 {
+        sim.run_phase(vec![(0, vec![Op::Write { file, off: 0, len: setup_len }])]);
+        sim.settle_disks();
+    }
+    for id in 0..slow_servers {
+        sim.set_server_slowdown(id, SLOWDOWN_NS);
+    }
+    sim.set_barrier_mode(barrier);
+    sim.run_phase(vec![(0, ops)])
+}
+
+fn compare(
+    case: &'static str,
+    scheme: Scheme,
+    servers: u32,
+    unit: u64,
+    slow_servers: u32,
+    setup_len: u64,
+    ops: Vec<Op>,
+) -> Comparison {
+    let barrier = run_once(scheme, servers, unit, slow_servers, true, setup_len, ops.clone());
+    let pipelined = run_once(scheme, servers, unit, slow_servers, false, setup_len, ops);
+    Comparison { case, scheme, slow_servers, barrier, pipelined }
+}
+
+/// The full comparison grid dumped into `BENCH_pipeline.json`.
+pub fn compare_all() -> Vec<Comparison> {
+    let servers = 6u32;
+    let unit = 16 * 1024u64;
+    // RAID5 data bytes per parity group; Hybrid shares the geometry for
+    // large in-place writes.
+    let group = (servers as u64 - 1) * unit;
+    let setup = 12 * group;
+
+    // Eight single-group half-block overwrites: pure RMW, one group at
+    // a time.
+    let one_block: Vec<Op> =
+        (0..8).map(|i| Op::Write { file: 0, off: i * group + unit / 4, len: unit / 2 }).collect();
+    // One unaligned write across eight groups: partial head and tail
+    // (locked RMW) around six full-stripe groups.
+    let multi_stripe = vec![Op::Write { file: 0, off: unit / 2, len: 8 * group }];
+
+    let mut out = Vec::new();
+    for slow in [0u32, 2] {
+        for scheme in [Scheme::Raid5, Scheme::Hybrid] {
+            out.push(compare("one_block", scheme, servers, unit, slow, setup, one_block.clone()));
+            out.push(compare(
+                "multi_stripe",
+                scheme,
+                servers,
+                unit,
+                slow,
+                setup,
+                multi_stripe.clone(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The PR's acceptance shape: pipelined wins multi-stripe under
+    /// ≥2 slow servers and never loses single-stripe.
+    #[test]
+    fn pipelined_beats_barrier_where_it_should() {
+        for c in compare_all() {
+            assert!(
+                c.pipelined.duration_ns <= c.barrier.duration_ns,
+                "{} {} slow={}: pipelined {} ns slower than barrier {} ns",
+                c.case,
+                c.scheme.label(),
+                c.slow_servers,
+                c.pipelined.duration_ns,
+                c.barrier.duration_ns,
+            );
+            if c.case == "multi_stripe" && c.slow_servers >= 2 && c.scheme == Scheme::Raid5 {
+                assert!(
+                    c.speedup() > 1.05,
+                    "{} {} slow={}: expected a clear pipelining win, got {:.3}x",
+                    c.case,
+                    c.scheme.label(),
+                    c.slow_servers,
+                    c.speedup(),
+                );
+            }
+        }
+    }
+
+    /// Barrier mode charges the held-reply time to `stall_ns`;
+    /// pipelined delivery keeps it at (near) zero.
+    #[test]
+    fn stall_time_is_a_barrier_phenomenon() {
+        let c = compare_all()
+            .into_iter()
+            .find(|c| c.case == "multi_stripe" && c.slow_servers == 2 && c.scheme == Scheme::Raid5)
+            .expect("grid includes the slow multi-stripe RAID5 case");
+        assert!(c.barrier.stall_ns > 0, "barrier mode must report reply stall time");
+        assert_eq!(c.pipelined.stall_ns, 0, "pipelined delivery never holds a ready reply");
+        assert!(
+            c.pipelined.max_in_flight >= 2,
+            "a multi-group write keeps several requests in flight"
+        );
+    }
+}

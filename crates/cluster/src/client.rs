@@ -1,37 +1,348 @@
-//! Blocking client API over the channel transport.
+//! Completion-driven client engine over the channel transport.
+//!
+//! Each operation runs a private submission/completion-queue pair (an
+//! [`Engine`]): the core driver's `Send` effects enter the submission
+//! queue, are transmitted within a per-server in-flight window, and
+//! replies are delivered back to the driver *as they arrive* — out of
+//! order, one `poll` per completion. A `Handle` carries no operation
+//! lock and no shared reply channel, so any number of operations can be
+//! in flight concurrently on one client.
+//!
+//! Every transmitted request gets a deadline. Idempotent (read-class)
+//! requests are retried with exponential deadline backoff; anything
+//! else — in particular `ParityReadLock`, where a missing reply usually
+//! means the request is *parked* on a held lock, not lost — fails the
+//! operation with [`CsarError::Timeout`] naming the unresponsive
+//! server. Replies from a superseded (retried) attempt are dropped;
+//! replies that match nothing at all surface as a transport error
+//! rather than being silently ignored.
 
 use crate::deploy::Inner;
 use crate::transport::{MgrMsg, ServerMsg};
-use csar_core::client::{run_driver, OpOutput, ReadDriver, WriteDriver};
+use csar_core::client::{Completion, Effect, OpDriver, OpOutput, ReadDriver, Token, WriteDriver};
 use csar_core::manager::{FileMeta, MgrRequest, MgrResponse};
 use csar_core::proto::{ClientId, ReqHeader, Request, Response, Scheme, ServerId};
 use csar_core::{CsarError, Layout};
 use csar_store::{Payload, StorageReport};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
-/// A client's private connection state: reply channel, request-id
-/// allocator, and an operation lock (one outstanding operation at a time,
-/// like a PVFS library call).
+/// Transport tuning for client operations. Set cluster-wide via
+/// [`crate::Cluster::set_transport_config`] (or just the deadline via
+/// [`crate::Cluster::set_reply_timeout`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TransportConfig {
+    /// Maximum requests one operation keeps in flight per server.
+    /// Transmission is strict FIFO: a head-of-line request whose server
+    /// is at the window waits, preserving the drivers' issue-order
+    /// contract (data writes before the unlock, §5.1).
+    pub window: u32,
+    /// Base per-request reply deadline.
+    pub reply_timeout: Duration,
+    /// Extra attempts for idempotent (read-class) requests.
+    pub retries: u32,
+    /// Deadline multiplier applied on each retry attempt.
+    pub backoff: u32,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        Self { window: 8, reply_timeout: Duration::from_secs(60), retries: 2, backoff: 2 }
+    }
+}
+
+/// Per-operation transport instrumentation, accumulated per [`File`]
+/// (sums over operations unless noted).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Operations merged into this record.
+    pub ops: u64,
+    /// Requests transmitted (retries included).
+    pub requests: u64,
+    /// Retry transmissions.
+    pub retries: u64,
+    /// Highest in-flight request count observed in any single operation.
+    pub max_in_flight: u64,
+    /// Time from operation start to its first reply (time-to-first-byte).
+    pub ttfb_ns: u64,
+    /// Time requests spent queued behind the per-server window.
+    pub queue_stall_ns: u64,
+    /// Wall-clock operation time.
+    pub elapsed_ns: u64,
+}
+
+impl OpStats {
+    fn merge(&mut self, one: &OpStats) {
+        self.ops += one.ops;
+        self.requests += one.requests;
+        self.retries += one.retries;
+        self.max_in_flight = self.max_in_flight.max(one.max_in_flight);
+        self.ttfb_ns += one.ttfb_ns;
+        self.queue_stall_ns += one.queue_stall_ns;
+        self.elapsed_ns += one.elapsed_ns;
+    }
+}
+
+/// May this request be transparently re-sent after a missed deadline?
+/// Only side-effect-free reads qualify. `ParityReadLock` explicitly does
+/// not: a slow grant usually means the request is parked behind another
+/// client's critical section, and a second acquisition attempt could
+/// double-lock the group.
+fn retryable(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::ReadData { .. }
+            | Request::ReadMirror { .. }
+            | Request::ReadLatest { .. }
+            | Request::ParityRead { .. }
+            | Request::OverflowFetch { .. }
+            | Request::DumpOverflowTable { .. }
+            | Request::GetUsage { .. }
+    )
+}
+
+/// One transmitted request awaiting its reply.
+struct Flight {
+    token: Token,
+    srv: ServerId,
+    /// Kept only when a retry is still possible (read-class, attempts
+    /// left); write payloads are never cloned.
+    req: Option<Request>,
+    first_sent: Instant,
+    deadline: Instant,
+    attempt: u32,
+}
+
+/// A client's private connection state: request-id allocator over the
+/// shared cluster transport. Carries no lock — each operation owns a
+/// private completion channel, so concurrent operations per handle are
+/// fine.
 pub(crate) struct Handle {
     inner: Arc<Inner>,
     id: ClientId,
+    next_req: AtomicU64,
+}
+
+/// The per-operation submission/completion-queue pair.
+struct Engine<'h> {
+    h: &'h Handle,
+    cfg: TransportConfig,
     tx: Sender<(u64, Response)>,
     rx: Receiver<(u64, Response)>,
-    next_req: AtomicU64,
-    op_lock: Mutex<()>,
+    /// Submission queue, strict FIFO (see [`TransportConfig::window`]).
+    sq: VecDeque<(Token, ServerId, Request, Instant)>,
+    /// Locally-generated completions (requests to down servers).
+    local: VecDeque<(Token, Response)>,
+    /// Outstanding requests by req_id.
+    inflight: HashMap<u64, Flight>,
+    per_server: Vec<u32>,
+    /// req_ids abandoned by a retry; their late replies are dropped.
+    superseded: HashSet<u64>,
+    stats: OpStats,
+    started: Instant,
+}
+
+impl<'h> Engine<'h> {
+    fn new(h: &'h Handle) -> Self {
+        let (tx, rx) = channel();
+        Self {
+            h,
+            cfg: h.transport(),
+            tx,
+            rx,
+            sq: VecDeque::new(),
+            local: VecDeque::new(),
+            inflight: HashMap::new(),
+            per_server: vec![0; h.inner.servers as usize],
+            superseded: HashSet::new(),
+            stats: OpStats { ops: 1, ..OpStats::default() },
+            started: Instant::now(),
+        }
+    }
+
+    fn submit(&mut self, token: Token, srv: ServerId, req: Request) {
+        self.sq.push_back((token, srv, req, Instant::now()));
+    }
+
+    /// Transmit submission-queue heads while their servers have window
+    /// space. Requests to down servers are answered locally.
+    fn pump(&mut self) -> Result<(), CsarError> {
+        loop {
+            let Some((_, srv, _, _)) = self.sq.front() else { break };
+            let srv = *srv;
+            if self.h.inner.down[srv as usize].load(Ordering::SeqCst) {
+                if let Some((token, ..)) = self.sq.pop_front() {
+                    self.local.push_back((token, Response::Err(CsarError::ServerDown(srv))));
+                }
+                continue;
+            }
+            if self.per_server[srv as usize] >= self.cfg.window {
+                break; // head-of-line waits; FIFO order is the contract
+            }
+            let Some((token, srv, req, queued)) = self.sq.pop_front() else { break };
+            self.stats.queue_stall_ns += queued.elapsed().as_nanos() as u64;
+            self.transmit(token, srv, req, Instant::now(), 0)?;
+        }
+        Ok(())
+    }
+
+    fn transmit(
+        &mut self,
+        token: Token,
+        srv: ServerId,
+        req: Request,
+        first_sent: Instant,
+        attempt: u32,
+    ) -> Result<(), CsarError> {
+        let req_id = self.h.next_req.fetch_add(1, Ordering::Relaxed);
+        let mut timeout = self.cfg.reply_timeout;
+        for _ in 0..attempt {
+            timeout *= self.cfg.backoff.max(1);
+        }
+        let keep = attempt < self.cfg.retries && retryable(&req);
+        let flight = Flight {
+            token,
+            srv,
+            req: if keep { Some(req.clone()) } else { None },
+            first_sent,
+            deadline: Instant::now() + timeout,
+            attempt,
+        };
+        self.h.inner.server_txs[srv as usize]
+            .send(ServerMsg::Req { from: self.h.id, req_id, req, reply_to: self.tx.clone() })
+            .map_err(|_| CsarError::Transport(format!("server {srv} channel closed")))?;
+        self.inflight.insert(req_id, flight);
+        self.per_server[srv as usize] += 1;
+        self.stats.requests += 1;
+        self.stats.max_in_flight = self.stats.max_in_flight.max(self.inflight.len() as u64);
+        Ok(())
+    }
+
+    /// Block until one completion is available: a locally-answered
+    /// request or the next reply off the wire, whichever comes first.
+    fn await_completion(&mut self) -> Result<(Token, Response), CsarError> {
+        loop {
+            self.pump()?;
+            if let Some(c) = self.local.pop_front() {
+                self.first_byte();
+                return Ok(c);
+            }
+            if self.inflight.is_empty() {
+                return Err(CsarError::Protocol("driver stalled without completing".into()));
+            }
+            let now = Instant::now();
+            let nearest = self
+                .inflight
+                .values()
+                .map(|f| f.deadline)
+                .min()
+                .unwrap_or(now);
+            match self.rx.recv_timeout(nearest.saturating_duration_since(now)) {
+                Ok((req_id, resp)) => {
+                    if self.superseded.remove(&req_id) {
+                        continue; // late reply of a retried attempt
+                    }
+                    let Some(f) = self.inflight.remove(&req_id) else {
+                        return Err(CsarError::Transport(format!(
+                            "reply for unknown request id {req_id}"
+                        )));
+                    };
+                    self.per_server[f.srv as usize] -= 1;
+                    self.first_byte();
+                    return Ok((f.token, resp));
+                }
+                Err(RecvTimeoutError::Timeout) => self.expire(Instant::now())?,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CsarError::Transport("reply channel closed".into()))
+                }
+            }
+        }
+    }
+
+    /// Handle missed deadlines: retry what is retryable, fail the
+    /// operation otherwise, naming the unresponsive server.
+    fn expire(&mut self, now: Instant) -> Result<(), CsarError> {
+        let expired: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, f)| f.deadline <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for req_id in expired {
+            let Some(f) = self.inflight.remove(&req_id) else { continue };
+            self.per_server[f.srv as usize] -= 1;
+            match f.req {
+                Some(req) => {
+                    self.superseded.insert(req_id);
+                    self.stats.retries += 1;
+                    self.transmit(f.token, f.srv, req, f.first_sent, f.attempt + 1)?;
+                }
+                None => {
+                    return Err(CsarError::Timeout {
+                        server: f.srv,
+                        waited_ms: f.first_sent.elapsed().as_millis() as u64,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn first_byte(&mut self) {
+        if self.stats.ttfb_ns == 0 {
+            self.stats.ttfb_ns = self.started.elapsed().as_nanos() as u64;
+        }
+    }
+
+    fn finish(&mut self) -> OpStats {
+        self.stats.elapsed_ns = self.started.elapsed().as_nanos() as u64;
+        self.stats
+    }
 }
 
 impl Handle {
     pub(crate) fn new(inner: Arc<Inner>) -> Self {
         let id = inner.next_client.fetch_add(1, Ordering::SeqCst);
-        let (tx, rx) = channel();
-        Self { inner, id, tx, rx, next_req: AtomicU64::new(1), op_lock: Mutex::new(()) }
+        Self { inner, id, next_req: AtomicU64::new(1) }
     }
 
     fn fresh(&self) -> Handle {
         Handle::new(Arc::clone(&self.inner))
+    }
+
+    fn transport(&self) -> TransportConfig {
+        *self.inner.transport.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Drive one core operation to completion over a private engine,
+    /// delivering each reply as soon as it arrives.
+    pub(crate) fn run_op(
+        &self,
+        driver: &mut dyn OpDriver,
+    ) -> Result<(OpOutput, OpStats), CsarError> {
+        let mut eng = Engine::new(self);
+        let mut queue: VecDeque<Effect> = driver.poll(Completion::Begin).into();
+        loop {
+            while let Some(e) = queue.pop_front() {
+                match e {
+                    Effect::Send { token, srv, req } => eng.submit(token, srv, req),
+                    Effect::Compute { token, .. } => {
+                        // The XOR itself already happened inside the
+                        // driver; the completion is immediate here.
+                        queue.extend(driver.poll(Completion::ComputeDone { token }));
+                    }
+                    Effect::Done(r) => {
+                        let stats = eng.finish();
+                        return r.map(|out| (out, stats));
+                    }
+                }
+            }
+            let (token, resp) = eng.await_completion()?;
+            queue.extend(driver.poll(Completion::Reply { token, resp }));
+        }
     }
 
     /// Send a batch of requests and gather replies in request order.
@@ -40,35 +351,34 @@ impl Handle {
         &self,
         batch: Vec<(ServerId, Request)>,
     ) -> Result<Vec<Response>, CsarError> {
-        let _guard = self.op_lock.lock().unwrap_or_else(PoisonError::into_inner);
-        let mut slots: Vec<Option<Response>> = vec![None; batch.len()];
-        let mut waiting: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut eng = Engine::new(self);
+        let n = batch.len();
         for (i, (srv, req)) in batch.into_iter().enumerate() {
-            if self.inner.down[srv as usize].load(Ordering::SeqCst) {
-                slots[i] = Some(Response::Err(CsarError::ServerDown(srv)));
-                continue;
-            }
-            let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
-            waiting.insert(req_id, i);
-            self.inner.server_txs[srv as usize]
-                .send(ServerMsg::Req { from: self.id, req_id, req, reply_to: self.tx.clone() })
-                .map_err(|_| CsarError::Transport(format!("server {srv} channel closed")))?;
+            eng.submit(i as Token, srv, req);
         }
-        while !waiting.is_empty() {
-            let (req_id, resp) = self
-                .rx
-                .recv_timeout(std::time::Duration::from_secs(60))
-                .map_err(|_| CsarError::Transport("timed out waiting for replies".into()))?;
-            if let Some(i) = waiting.remove(&req_id) {
-                slots[i] = Some(resp);
+        let mut slots: Vec<Option<Response>> = (0..n).map(|_| None).collect();
+        let mut filled = 0;
+        while filled < n {
+            let (token, resp) = eng.await_completion()?;
+            let slot = slots.get_mut(token as usize).ok_or_else(|| {
+                CsarError::Transport(format!("reply for unknown batch slot {token}"))
+            })?;
+            if slot.replace(resp).is_some() {
+                return Err(CsarError::Transport(format!("duplicate reply for batch slot {token}")));
             }
+            filled += 1;
         }
-        Ok(slots.into_iter().map(|s| s.expect("reply slot unfilled")).collect())
+        slots
+            .into_iter()
+            .map(|s| s.ok_or_else(|| CsarError::Transport("batch reply slot unfilled".into())))
+            .collect()
     }
 
     /// Send one request and return its reply.
     pub(crate) fn send_one(&self, srv: ServerId, req: Request) -> Result<Response, CsarError> {
-        Ok(self.send_batch(vec![(srv, req)])?.remove(0))
+        self.send_batch(vec![(srv, req)])?
+            .pop()
+            .ok_or_else(|| CsarError::Transport("empty batch reply".into()))
     }
 
     /// A manager round trip.
@@ -78,7 +388,7 @@ impl Handle {
             .mgr_tx
             .send(MgrMsg::Req { req, reply_to: tx })
             .map_err(|_| CsarError::Transport("manager channel closed".into()))?;
-        rx.recv_timeout(std::time::Duration::from_secs(60))
+        rx.recv_timeout(self.transport().reply_timeout)
             .map_err(|_| CsarError::Transport("manager timed out".into()))
     }
 
@@ -97,9 +407,9 @@ impl Handle {
 
 /// A client of the cluster: creates and opens files.
 ///
-/// Each client (and each [`File`]) owns a private reply channel; use one
-/// per thread for concurrent workloads, exactly like independent PVFS
-/// library processes.
+/// Each client (and each [`File`]) owns an independent request-id space;
+/// operations never share state, so one client — or one open file — can
+/// be used from many threads concurrently.
 pub struct ClusterClient {
     handle: Handle,
 }
@@ -121,13 +431,13 @@ impl ClusterClient {
             .handle
             .mgr(MgrRequest::Create { name: name.into(), scheme, layout })?
             .into_meta()?;
-        Ok(File { handle: self.handle.fresh(), meta: Mutex::new(meta) })
+        Ok(File::new(self.handle.fresh(), meta))
     }
 
     /// Open an existing file.
     pub fn open(&self, name: &str) -> Result<File, CsarError> {
         let meta = self.handle.mgr(MgrRequest::Open { name: name.into() })?.into_meta()?;
-        Ok(File { handle: self.handle.fresh(), meta: Mutex::new(meta) })
+        Ok(File::new(self.handle.fresh(), meta))
     }
 
     /// All file metadata known to the manager.
@@ -157,13 +467,19 @@ impl ClusterClient {
     }
 }
 
-/// An open CSAR file with a blocking positional API.
+/// An open CSAR file with a blocking positional API. Safe to share
+/// across threads; operations run concurrently (no per-file lock).
 pub struct File {
     handle: Handle,
     meta: Mutex<FileMeta>,
+    stats: Mutex<OpStats>,
 }
 
 impl File {
+    fn new(handle: Handle, meta: FileMeta) -> Self {
+        Self { handle, meta: Mutex::new(meta), stats: Mutex::new(OpStats::default()) }
+    }
+
     /// Snapshot of the file's metadata.
     pub fn meta(&self) -> FileMeta {
         self.meta.lock().unwrap_or_else(PoisonError::into_inner).clone()
@@ -172,6 +488,16 @@ impl File {
     /// Current logical size.
     pub fn size(&self) -> u64 {
         self.meta.lock().unwrap_or_else(PoisonError::into_inner).size
+    }
+
+    /// Accumulated per-operation transport instrumentation for reads
+    /// and writes issued through this handle.
+    pub fn op_stats(&self) -> OpStats {
+        *self.stats.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn record(&self, stats: &OpStats) {
+        self.stats.lock().unwrap_or_else(PoisonError::into_inner).merge(stats);
     }
 
     fn hdr(&self) -> ReqHeader {
@@ -196,7 +522,8 @@ impl File {
         // the scheme's redundancy permits (see WriteDriver::new_degraded).
         let failed = self.handle.failed();
         let mut driver = WriteDriver::new_degraded(&meta, off, payload, failed);
-        let out = run_driver(&mut driver, |b| self.handle.send_batch(b))?;
+        let (out, stats) = self.handle.run_op(&mut driver)?;
+        self.record(&stats);
         let OpOutput::Written { bytes } = out else {
             return Err(CsarError::Protocol("write returned a read output".into()));
         };
@@ -231,7 +558,8 @@ impl File {
         let meta = self.meta();
         let failed = self.handle.failed();
         let mut driver = ReadDriver::new(&meta, off, len, failed);
-        let out = run_driver(&mut driver, |b| self.handle.send_batch(b))?;
+        let (out, stats) = self.handle.run_op(&mut driver)?;
+        self.record(&stats);
         Ok(out.into_payload())
     }
 

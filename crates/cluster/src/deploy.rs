@@ -1,6 +1,6 @@
 //! Cluster lifecycle: spawn, failure injection, rebuild, shutdown.
 
-use crate::client::{ClusterClient, Handle};
+use crate::client::{ClusterClient, Handle, TransportConfig};
 use crate::node::{run_manager, run_server, SharedServer};
 use crate::transport::{MgrMsg, ServerMsg};
 use csar_core::manager::FileMeta;
@@ -23,6 +23,7 @@ pub(crate) struct Inner {
     pub down: Vec<AtomicBool>,
     pub next_client: AtomicU32,
     pub servers: u32,
+    pub transport: Mutex<TransportConfig>,
 }
 
 /// A running in-process CSAR cluster.
@@ -76,6 +77,7 @@ impl Cluster {
                 down: (0..n).map(|_| AtomicBool::new(false)).collect(),
                 next_client: AtomicU32::new(1),
                 servers: n,
+                transport: Mutex::new(TransportConfig::default()),
             }),
             threads: Mutex::new(threads),
         }
@@ -147,6 +149,20 @@ impl Cluster {
     /// A new independent client handle.
     pub fn client(&self) -> ClusterClient {
         ClusterClient::new(Handle::new(Arc::clone(&self.inner)))
+    }
+
+    /// Replace the transport tuning (in-flight window, reply deadline,
+    /// retry policy) for all operations started after this call.
+    pub fn set_transport_config(&self, cfg: TransportConfig) {
+        *self.inner.transport.lock().unwrap_or_else(PoisonError::into_inner) = cfg;
+    }
+
+    /// Set just the per-request reply deadline (the full knob set is
+    /// [`Cluster::set_transport_config`]). Tests use a short deadline so
+    /// an unresponsive server surfaces as [`CsarError::Timeout`] quickly.
+    pub fn set_reply_timeout(&self, timeout: std::time::Duration) {
+        let mut t = self.inner.transport.lock().unwrap_or_else(PoisonError::into_inner);
+        t.reply_timeout = timeout;
     }
 
     /// Mark a server fail-stopped: clients get `ServerDown` instead of

@@ -28,6 +28,6 @@ mod maintain;
 mod node;
 mod transport;
 
-pub use client::{ClusterClient, File};
+pub use client::{ClusterClient, File, OpStats, TransportConfig};
 pub use deploy::Cluster;
 pub use maintain::{CleanerHandle, ScrubReport};

@@ -2,10 +2,12 @@
 //! injection, degraded reads, rebuild, and storage accounting.
 
 use csar_cluster::Cluster;
-use csar_core::proto::Scheme;
+use csar_core::proto::{ReqHeader, Request, Scheme};
 use csar_core::recovery::parity_consistent;
 use csar_core::server::ServerConfig;
+use csar_core::CsarError;
 use csar_store::{SplitMix64, StreamKind};
+use std::time::Duration;
 
 fn cfg() -> ServerConfig {
     ServerConfig { fs_block: 512, ..ServerConfig::default() }
@@ -396,6 +398,92 @@ fn files_are_isolated_from_each_other() {
     let gb = b.read_at(100, 50).unwrap();
     assert_eq!(ga, vec![1; 50]);
     assert_eq!(gb, vec![2; 50]);
+    cluster.shutdown();
+}
+
+#[test]
+fn reply_timeout_names_the_unresponsive_server() {
+    // A client holds group 0's parity lock and never releases it. A
+    // second client's RMW parks behind the lock; with a short reply
+    // deadline the operation must fail with a Timeout naming the parity
+    // server (ParityReadLock is never retried — a slow grant means
+    // "parked", not "lost").
+    let n = 4u32;
+    let unit = 512u64;
+    let cluster = Cluster::spawn(n, cfg());
+    cluster.set_reply_timeout(Duration::from_millis(50));
+    let client = cluster.client();
+    let f = client.create("locked", Scheme::Raid5, unit).unwrap();
+    f.write_at(0, &pattern(3 * unit as usize, 11)).unwrap();
+
+    let meta = f.meta();
+    let hdr = ReqHeader { fh: meta.fh, layout: meta.layout, scheme: meta.scheme };
+    let parity_srv = meta.layout.parity_server(0);
+    client
+        .send_raw(parity_srv, Request::ParityReadLock { hdr, group: 0, intra: 0, len: unit })
+        .unwrap();
+
+    let err = f.write_at(0, &[9u8; 10]).unwrap_err();
+    match err {
+        CsarError::Timeout { server, waited_ms } => {
+            assert_eq!(server, parity_srv, "timeout must name the lock-holding server");
+            assert!(waited_ms >= 50, "deadline was 50ms, waited {waited_ms}ms");
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn one_file_handle_supports_concurrent_operations() {
+    // No per-operation lock: a single File shared across threads runs
+    // its reads and writes concurrently and correctly.
+    let n = 5u32;
+    let unit = 1024u64;
+    let group = (n as u64 - 1) * unit;
+    let cluster = Cluster::spawn(n, cfg());
+    let client = cluster.client();
+    let f = client.create("conc", Scheme::Hybrid, unit).unwrap();
+    f.write_at(0, &pattern(8 * group as usize, 9)).unwrap();
+
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let f = &f;
+            scope.spawn(move || {
+                for r in 0..10u64 {
+                    let data = pattern(group as usize, t * 31 + r);
+                    f.write_at(t * 2 * group, &data).unwrap();
+                    assert_eq!(f.read_at(t * 2 * group, group).unwrap(), data, "thread {t}");
+                }
+            });
+        }
+    });
+    assert_parity_consistent(&cluster, &f);
+    let st = f.op_stats();
+    assert!(st.ops >= 81, "4 threads x 10 rounds x 2 ops + seed, got {}", st.ops);
+    cluster.shutdown();
+}
+
+#[test]
+fn pipelined_rmw_keeps_multiple_requests_in_flight() {
+    // A write straddling two parity groups issues its lock and old-data
+    // reads together: the transport must report more than one request in
+    // flight at once (the barrier engine never could within a phase of
+    // a single-partial op).
+    let n = 4u32;
+    let unit = 512u64;
+    let group = (n as u64 - 1) * unit;
+    let cluster = Cluster::spawn(n, cfg());
+    let client = cluster.client();
+    let f = client.create("pipe", Scheme::Raid5, unit).unwrap();
+    f.write_at(0, &pattern(2 * group as usize, 3)).unwrap();
+
+    let before = f.op_stats();
+    f.write_at(group - unit / 2, &pattern(unit as usize, 4)).unwrap();
+    let st = f.op_stats();
+    assert!(st.requests > before.requests);
+    assert!(st.max_in_flight >= 2, "straddling RMW pipelines, got {}", st.max_in_flight);
+    assert_parity_consistent(&cluster, &f);
     cluster.shutdown();
 }
 

@@ -1,20 +1,39 @@
 //! Client-side operation drivers.
 //!
 //! A CSAR client performs an operation (write / read / degraded read) as
-//! a short program of *batches*: it sends a set of requests to I/O
-//! servers, waits for all replies, possibly computes (XOR for parity),
-//! and continues. The paper's §5.1 deadlock-avoidance rule — a write
+//! a dependency graph of per-server requests and XOR computations. The
+//! drivers are **completion-driven state machines**: the executor feeds
+//! one [`Completion`] at a time into [`OpDriver::poll`] and performs the
+//! returned [`Effect`]s. Each server's reply immediately unblocks only
+//! the work that depended on it — a parity-lock RMW for group *k* can
+//! proceed while group *k+1*'s full-stripe writes are still in flight,
+//! and a Hybrid write overlaps its overflow mirror appends with its
+//! RAID5 body. The paper's §5.1 deadlock-avoidance rule — a write
 //! touching two partial stripes issues the parity-lock read for the
-//! lower-numbered group first and waits for it before issuing the second
-//! — is exactly such a batch boundary.
+//! lower-numbered group first and waits for *that grant* before issuing
+//! the second — becomes a single edge in the graph rather than a
+//! full-batch barrier.
 //!
-//! Drivers are pure state machines implementing [`OpDriver`]; the
-//! executor (threaded in `csar-cluster`, event-driven in `csar-sim`)
-//! alternates between performing the returned [`Action`] and feeding the
-//! result back. Parity XOR is performed inside the driver when replies
-//! arrive; the `Compute` action reports the number of bytes processed so
-//! the simulator can charge XOR time (the live executor treats it as a
-//! no-op).
+//! Drivers are pure state machines; the executor (threaded SQ/CQ engine
+//! in `csar-cluster`, event-driven in `csar-sim`, synchronous
+//! [`run_driver`] in tests) owns all timing. Parity XOR is performed
+//! inside the driver when the inputs arrive; the `Compute` effect
+//! reports the number of bytes processed so the simulator can charge
+//! XOR time (the live executor completes it immediately).
+//!
+//! ## Contract
+//!
+//! * The first poll is `Completion::Begin`; every later poll reports the
+//!   completion of exactly one previously returned effect, identified by
+//!   its token. Tokens are unique per operation.
+//! * Replies may be delivered **in any order** — the executor is free to
+//!   reorder, and the drivers must produce byte-identical results.
+//! * Effects within one returned `Vec` must be *issued* in order (the
+//!   parity unlock-write of an RMW group is always emitted after that
+//!   group's data writes), but their completions may arrive reordered.
+//! * Once a `Done` effect has been returned the operation is over:
+//!   further polls (late completions of cancelled requests) return no
+//!   effects and must be tolerated by both sides.
 
 pub mod read;
 pub mod write;
@@ -26,19 +45,53 @@ use csar_store::Payload;
 pub use read::ReadDriver;
 pub use write::WriteDriver;
 
-/// What the executor must do next.
+/// Identifies one outstanding request or computation within an op.
+pub type Token = u64;
+
+/// One event fed into a driver: the operation starting, or the
+/// completion of a previously returned [`Effect`].
 #[derive(Debug)]
-pub enum Action {
-    /// Send all requests (concurrently), gather all replies, and call
-    /// [`OpDriver::on_replies`] with them in the same order.
-    Send(Vec<(ServerId, Request)>),
-    /// Charge `bytes` of XOR work, then call [`OpDriver::on_compute_done`].
-    /// The actual computation has already happened inside the driver.
+pub enum Completion {
+    /// Start the operation (the first — and only the first — poll).
+    Begin,
+    /// A server replied to the `Send` effect carrying `token`.
+    Reply {
+        /// Token of the completed `Send` effect.
+        token: Token,
+        /// The server's reply.
+        resp: Response,
+    },
+    /// The XOR work of the `Compute` effect carrying `token` finished.
+    ComputeDone {
+        /// Token of the completed `Compute` effect.
+        token: Token,
+    },
+}
+
+/// What the executor must do next. Issue order within one `Vec` is part
+/// of the protocol; completion order is not.
+#[derive(Debug)]
+pub enum Effect {
+    /// Transmit `req` to `srv`; feed the reply back as
+    /// [`Completion::Reply`] with the same token.
+    Send {
+        /// Correlates the eventual reply with this request.
+        token: Token,
+        /// Destination I/O server.
+        srv: ServerId,
+        /// The request to transmit.
+        req: Request,
+    },
+    /// Charge `bytes` of XOR work, then feed [`Completion::ComputeDone`]
+    /// back. The actual computation has already happened inside the
+    /// driver.
     Compute {
+        /// Correlates the completion with this computation.
+        token: Token,
         /// XOR bytes to charge to the compute model.
         bytes: u64,
     },
-    /// The operation finished.
+    /// The operation finished. No further effects will be produced.
     Done(Result<OpOutput, CsarError>),
 }
 
@@ -67,91 +120,98 @@ impl OpOutput {
     }
 }
 
-/// A client-side operation state machine.
+/// A client-side operation state machine (see the module docs for the
+/// poll/completion contract).
 pub trait OpDriver {
-    /// Start the operation.
-    fn begin(&mut self) -> Action;
-    /// All replies of the last `Send` batch, in request order.
-    fn on_replies(&mut self, replies: Vec<Response>) -> Action;
-    /// The last `Compute` action finished.
-    fn on_compute_done(&mut self) -> Action;
+    /// Feed one completion, receive the effects it unblocks.
+    fn poll(&mut self, c: Completion) -> Vec<Effect>;
 }
 
-/// Check a batch of replies for errors; first error wins.
-pub(crate) fn first_error(replies: &[Response]) -> Option<CsarError> {
-    replies.iter().find_map(|r| match r {
-        Response::Err(e) => Some(e.clone()),
-        _ => None,
-    })
-}
-
-/// Run a driver to completion against a synchronous request function —
-/// the reference executor. `send` must return replies in request order.
+/// Run a driver to completion against a synchronous per-request function
+/// — the reference executor. Effects are performed strictly in issue
+/// order, one at a time; this is the in-order baseline the out-of-order
+/// executors must match byte for byte.
 ///
-/// Useful for tests and for any caller with blocking transport access;
-/// the live cluster's client is built on it.
+/// Useful for tests and for any caller with blocking transport access.
 pub fn run_driver<D, F>(driver: &mut D, mut send: F) -> Result<OpOutput, CsarError>
 where
     D: OpDriver + ?Sized,
-    F: FnMut(Vec<(ServerId, Request)>) -> Result<Vec<Response>, CsarError>,
+    F: FnMut(ServerId, Request) -> Result<Response, CsarError>,
 {
-    let mut action = driver.begin();
-    loop {
-        action = match action {
-            Action::Send(batch) => {
-                let replies = send(batch)?;
-                driver.on_replies(replies)
+    use std::collections::VecDeque;
+    let mut queue: VecDeque<Effect> = driver.poll(Completion::Begin).into();
+    while let Some(effect) = queue.pop_front() {
+        let more = match effect {
+            Effect::Send { token, srv, req } => {
+                let resp = send(srv, req)?;
+                driver.poll(Completion::Reply { token, resp })
             }
-            Action::Compute { .. } => driver.on_compute_done(),
-            Action::Done(result) => return result,
+            Effect::Compute { token, .. } => driver.poll(Completion::ComputeDone { token }),
+            Effect::Done(result) => return result,
         };
+        queue.extend(more);
     }
+    Err(CsarError::Protocol("driver stalled without completing".into()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// A trivial driver: one empty batch then done.
+    /// A trivial driver: one request, one compute, then done.
     struct TwoStep {
         step: u8,
     }
     impl OpDriver for TwoStep {
-        fn begin(&mut self) -> Action {
-            self.step = 1;
-            Action::Send(vec![])
-        }
-        fn on_replies(&mut self, replies: Vec<Response>) -> Action {
-            assert!(replies.is_empty());
-            self.step = 2;
-            Action::Compute { bytes: 10 }
-        }
-        fn on_compute_done(&mut self) -> Action {
-            self.step = 3;
-            Action::Done(Ok(OpOutput::Written { bytes: 42 }))
+        fn poll(&mut self, c: Completion) -> Vec<Effect> {
+            match c {
+                Completion::Begin => {
+                    self.step = 1;
+                    vec![Effect::Send {
+                        token: 7,
+                        srv: 0,
+                        req: Request::Wipe,
+                    }]
+                }
+                Completion::Reply { token, .. } => {
+                    assert_eq!(token, 7);
+                    self.step = 2;
+                    vec![Effect::Compute { token: 8, bytes: 10 }]
+                }
+                Completion::ComputeDone { token } => {
+                    assert_eq!(token, 8);
+                    self.step = 3;
+                    vec![Effect::Done(Ok(OpOutput::Written { bytes: 42 }))]
+                }
+            }
         }
     }
 
     #[test]
     fn run_driver_walks_all_phases() {
         let mut d = TwoStep { step: 0 };
-        let out = run_driver(&mut d, |batch| {
-            assert!(batch.is_empty());
-            Ok(vec![])
+        let out = run_driver(&mut d, |srv, req| {
+            assert_eq!(srv, 0);
+            assert!(matches!(req, Request::Wipe));
+            Ok(Response::Done { bytes: 0 })
         })
         .unwrap();
         assert_eq!(out, OpOutput::Written { bytes: 42 });
         assert_eq!(d.step, 3);
     }
 
+    /// A driver that never produces `Done` is a protocol error, not a
+    /// hang.
+    struct Staller;
+    impl OpDriver for Staller {
+        fn poll(&mut self, _c: Completion) -> Vec<Effect> {
+            vec![]
+        }
+    }
+
     #[test]
-    fn first_error_finds_errors() {
-        let replies = vec![
-            Response::Done { bytes: 1 },
-            Response::Err(CsarError::ServerDown(2)),
-            Response::Err(CsarError::ServerDown(3)),
-        ];
-        assert_eq!(first_error(&replies), Some(CsarError::ServerDown(2)));
-        assert_eq!(first_error(&[Response::Done { bytes: 1 }]), None);
+    fn run_driver_reports_stalled_drivers() {
+        let err = run_driver(&mut Staller, |_, _| Ok(Response::Done { bytes: 0 }));
+        assert!(matches!(err, Err(CsarError::Protocol(_))));
     }
 }

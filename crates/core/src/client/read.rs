@@ -17,14 +17,18 @@
 //!   reconstruction yields the pre-overflow contents, and the overlay
 //!   restores the latest).
 //! * RAID0 — data loss.
+//!
+//! All requests go out at `Begin`; each reconstruction job folds its XOR
+//! the moment its last input arrives, so a slow survivor only delays the
+//! spans that actually need it.
 
-use super::{first_error, Action, OpDriver, OpOutput};
+use super::{Completion, Effect, OpDriver, OpOutput, Token};
 use crate::error::CsarError;
 use crate::layout::Span;
 use crate::manager::FileMeta;
 use crate::proto::{ReqHeader, Request, Response, Scheme, ServerId};
 use csar_store::Payload;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Client-side read state machine.
 #[derive(Debug)]
@@ -33,34 +37,48 @@ pub struct ReadDriver {
     off: u64,
     len: u64,
     failed: Option<ServerId>,
-    state: State,
-    /// Normal requests: `(request index, spans served by it)`.
-    normal: Vec<(usize, Vec<Span>)>,
+    started: bool,
+    finished: bool,
+    /// What each outstanding token is for.
+    pending: HashMap<Token, Pending>,
     /// Reconstruction jobs for spans on the failed server.
     recon: Vec<ReconJob>,
-    batch: Vec<(ServerId, Request)>,
+    /// Outstanding sends + computes; 0 after start means assemble.
+    outstanding: usize,
     /// Assembled `(logical_off, payload)` segments.
     segments: Vec<(u64, Payload)>,
+    next_token: Token,
+}
+
+/// What a token's completion means.
+#[derive(Debug)]
+enum Pending {
+    /// Normal read: the reply payload is the concatenation of `spans`.
+    Normal { spans: Vec<Span> },
+    /// Surviving-block or parity input `slot` of reconstruction `job`.
+    ReconInput { job: usize, slot: usize },
+    /// Overflow-mirror fetch of reconstruction `job` (Hybrid).
+    ReconOverlay { job: usize },
+    /// XOR charge for a finished reconstruction.
+    Compute,
 }
 
 #[derive(Debug)]
 struct ReconJob {
     span: Span,
-    /// Request indices of the surviving blocks' intra-range reads.
-    others: Vec<usize>,
-    /// Request index of the parity read (None for RAID1 mirror path,
-    /// where `others[0]` is the mirror read itself).
-    parity: Option<usize>,
-    /// Request index of the overflow-mirror fetch (Hybrid only).
-    overlay: Option<usize>,
+    /// Surviving-block reads followed by the parity read (RAID1's mirror
+    /// path has a single input and no parity).
+    inputs: Vec<Option<Payload>>,
+    inputs_missing: usize,
+    /// Hybrid: overflow-mirror runs to overlay; `None` until arrived,
+    /// absent entirely for non-Hybrid schemes.
+    overlay: Option<Option<Vec<(u64, Payload)>>>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    Init,
-    Await,
-    Computing,
-    Finished,
+impl ReconJob {
+    fn ready(&self) -> bool {
+        self.inputs_missing == 0 && !matches!(self.overlay, Some(None))
+    }
 }
 
 impl ReadDriver {
@@ -76,22 +94,45 @@ impl ReadDriver {
             off,
             len,
             failed,
-            state: State::Init,
-            normal: Vec::new(),
+            started: false,
+            finished: false,
+            pending: HashMap::new(),
             recon: Vec::new(),
-            batch: Vec::new(),
+            outstanding: 0,
             segments: Vec::new(),
+            next_token: 0,
         }
     }
 
-    fn build(&mut self) -> Result<(), CsarError> {
+    fn token(&mut self) -> Token {
+        self.next_token += 1;
+        self.next_token - 1
+    }
+
+    fn send(
+        &mut self,
+        effects: &mut Vec<Effect>,
+        srv: ServerId,
+        req: Request,
+        pending: Pending,
+    ) {
+        let token = self.token();
+        self.pending.insert(token, pending);
+        self.outstanding += 1;
+        effects.push(Effect::Send { token, srv, req });
+    }
+
+    /// Plan and emit every request up front — reads have no intra-op
+    /// write ordering to respect, so the whole fan-out pipelines.
+    fn build(&mut self, effects: &mut Vec<Effect>) -> Result<(), CsarError> {
         let ly = self.hdr.layout;
         let scheme = self.hdr.scheme;
+        let hdr = self.hdr;
         let normal_req = |spans: Vec<Span>| -> Request {
             if scheme == Scheme::Hybrid {
-                Request::ReadLatest { hdr: self.hdr, spans }
+                Request::ReadLatest { hdr, spans }
             } else {
-                Request::ReadData { hdr: self.hdr, spans }
+                Request::ReadData { hdr, spans }
             }
         };
 
@@ -131,54 +172,108 @@ impl ReadDriver {
         }
 
         for (srv, spans) in normal_per_server {
-            self.normal.push((self.batch.len(), spans.clone()));
-            self.batch.push((srv, normal_req(spans)));
+            self.send(effects, srv, normal_req(spans.clone()), Pending::Normal { spans });
         }
         for (srv, spans) in mirror_per_server {
-            self.normal.push((self.batch.len(), spans.clone()));
-            self.batch.push((srv, Request::ReadMirror { hdr: self.hdr, spans }));
+            self.send(
+                effects,
+                srv,
+                Request::ReadMirror { hdr, spans: spans.clone() },
+                Pending::Normal { spans },
+            );
         }
 
         if scheme.uses_parity() {
             let unit = ly.stripe_unit;
             for s in lost {
+                let job = self.recon.len();
                 let block = ly.block_of(s.logical_off);
                 let group = ly.group_of_block(block);
                 let intra = s.logical_off % unit;
-                let mut others = Vec::new();
+                let mut slots = 0usize;
                 for b in ly.group_blocks(group) {
                     if b == block {
                         continue;
                     }
                     let other_span = Span { logical_off: b * unit + intra, len: s.len };
-                    others.push(self.batch.len());
-                    self.batch.push((
+                    self.send(
+                        effects,
                         ly.home_server(b),
-                        Request::ReadData { hdr: self.hdr, spans: vec![other_span] },
-                    ));
+                        Request::ReadData { hdr, spans: vec![other_span] },
+                        Pending::ReconInput { job, slot: slots },
+                    );
+                    slots += 1;
                 }
-                let parity = self.batch.len();
-                self.batch.push((
+                self.send(
+                    effects,
                     ly.parity_server(group),
-                    Request::ParityRead { hdr: self.hdr, group, intra, len: s.len },
-                ));
+                    Request::ParityRead { hdr, group, intra, len: s.len },
+                    Pending::ReconInput { job, slot: slots },
+                );
+                slots += 1;
                 let overlay = if scheme == Scheme::Hybrid {
-                    let idx = self.batch.len();
-                    self.batch.push((
+                    self.send(
+                        effects,
                         ly.mirror_server(block),
-                        Request::OverflowFetch { hdr: self.hdr, spans: vec![s], mirror: true },
-                    ));
-                    Some(idx)
+                        Request::OverflowFetch { hdr, spans: vec![s], mirror: true },
+                        Pending::ReconOverlay { job },
+                    );
+                    Some(None)
                 } else {
                     None
                 };
-                self.recon.push(ReconJob { span: s, others, parity: Some(parity), overlay });
+                self.recon.push(ReconJob {
+                    span: s,
+                    inputs: vec![None; slots],
+                    inputs_missing: slots,
+                    overlay,
+                });
             }
         }
         Ok(())
     }
 
-    fn assemble(&mut self) -> Action {
+    /// A reconstruction job has all inputs: fold the XOR, overlay the
+    /// overflow runs, push the segment, and charge the compute.
+    fn finish_job(&mut self, job: usize, effects: &mut Vec<Effect>) -> Result<(), CsarError> {
+        let j = &mut self.recon[job];
+        let n_inputs = j.inputs.len() as u64;
+        let mut acc: Option<Payload> = None;
+        for p in j.inputs.drain(..) {
+            let p = p.ok_or_else(|| {
+                CsarError::Protocol("reconstruction input missing at fold time".into())
+            })?;
+            acc = Some(match acc {
+                None => p,
+                Some(a) => a.xor(&p),
+            });
+        }
+        let Some(mut rebuilt) = acc else {
+            return Err(CsarError::Protocol("reconstruction job with no inputs".into()));
+        };
+        let bytes = rebuilt.len() * n_inputs;
+        // Hybrid: overlay the overflow-mirror runs.
+        let span = j.span;
+        if let Some(runs) = j.overlay.take().flatten() {
+            for (run_off, run_pay) in runs {
+                debug_assert!(
+                    run_off >= span.logical_off && run_off + run_pay.len() <= span.end()
+                );
+                let a = run_off - span.logical_off;
+                let before = rebuilt.slice(0, a);
+                let after = rebuilt.slice(a + run_pay.len(), span.len - a - run_pay.len());
+                rebuilt = Payload::concat(&[before, run_pay, after]);
+            }
+        }
+        self.segments.push((span.logical_off, rebuilt));
+        let token = self.token();
+        self.pending.insert(token, Pending::Compute);
+        self.outstanding += 1;
+        effects.push(Effect::Compute { token, bytes });
+        Ok(())
+    }
+
+    fn assemble(&mut self) -> Effect {
         self.segments.sort_by_key(|(o, _)| *o);
         // Verify the segments partition [off, off+len).
         let mut cursor = self.off;
@@ -194,102 +289,106 @@ impl ReadDriver {
             return self.fail(CsarError::Protocol("read assembly short".into()));
         }
         let parts: Vec<Payload> = self.segments.drain(..).map(|(_, p)| p).collect();
-        self.state = State::Finished;
-        Action::Done(Ok(OpOutput::Read { payload: Payload::concat(&parts) }))
+        self.finished = true;
+        Effect::Done(Ok(OpOutput::Read { payload: Payload::concat(&parts) }))
     }
 
-    fn fail(&mut self, e: CsarError) -> Action {
-        self.state = State::Finished;
-        Action::Done(Err(e))
+    fn fail(&mut self, e: CsarError) -> Effect {
+        self.finished = true;
+        Effect::Done(Err(e))
     }
 }
 
 impl OpDriver for ReadDriver {
-    fn begin(&mut self) -> Action {
-        debug_assert_eq!(self.state, State::Init);
-        if let Err(e) = self.build() {
-            return self.fail(e);
+    fn poll(&mut self, c: Completion) -> Vec<Effect> {
+        if self.finished {
+            // Late completions of an op that already reported Done.
+            return Vec::new();
         }
-        self.state = State::Await;
-        Action::Send(std::mem::take(&mut self.batch))
-    }
-
-    fn on_replies(&mut self, replies: Vec<Response>) -> Action {
-        debug_assert_eq!(self.state, State::Await);
-        if let Some(e) = first_error(&replies) {
-            return self.fail(e);
-        }
-        // Normal segments: slice each request's payload by its spans.
-        for (req_idx, spans) in std::mem::take(&mut self.normal) {
-            let payload = match replies[req_idx].clone().into_payload() {
-                Ok(p) => p,
-                Err(e) => return self.fail(e),
-            };
-            let mut cursor = 0u64;
-            for s in spans {
-                self.segments.push((s.logical_off, payload.slice(cursor, s.len)));
-                cursor += s.len;
-            }
-        }
-        // Reconstruction jobs.
-        let jobs = std::mem::take(&mut self.recon);
-        let mut compute_bytes = 0u64;
-        for job in jobs {
-            let mut acc: Option<Payload> = None;
-            let fold = |p: Payload, acc: &mut Option<Payload>| match acc.take() {
-                None => *acc = Some(p),
-                Some(a) => *acc = Some(a.xor(&p)),
-            };
-            for idx in &job.others {
-                match replies[*idx].clone().into_payload() {
-                    Ok(p) => fold(p, &mut acc),
-                    Err(e) => return self.fail(e),
+        let mut effects = Vec::new();
+        match c {
+            Completion::Begin => {
+                debug_assert!(!self.started, "Begin polled twice");
+                self.started = true;
+                if let Err(e) = self.build(&mut effects) {
+                    return vec![self.fail(e)];
                 }
             }
-            if let Some(idx) = job.parity {
-                match replies[idx].clone().into_payload() {
-                    Ok(p) => fold(p, &mut acc),
-                    Err(e) => return self.fail(e),
-                }
-            }
-            let Some(mut rebuilt) = acc else {
-                return self
-                    .fail(CsarError::Protocol("reconstruction job with no inputs".into()));
-            };
-            compute_bytes += rebuilt.len() * (job.others.len() as u64 + 1);
-            // Hybrid: overlay the overflow-mirror runs.
-            if let Some(idx) = job.overlay {
-                let runs = match &replies[idx] {
-                    Response::Runs { runs } => runs.clone(),
-                    Response::Err(e) => return self.fail(e.clone()),
-                    other => {
-                        return self.fail(CsarError::Protocol(format!(
-                            "expected Runs reply, got {other:?}"
-                        )))
-                    }
+            Completion::Reply { token, resp } => {
+                let Some(pending) = self.pending.remove(&token) else {
+                    return vec![self.fail(CsarError::Protocol(format!(
+                        "reply for unknown token {token}"
+                    )))];
                 };
-                for (run_off, run_pay) in runs {
-                    let s = job.span;
-                    debug_assert!(run_off >= s.logical_off && run_off + run_pay.len() <= s.end());
-                    let a = run_off - s.logical_off;
-                    let before = rebuilt.slice(0, a);
-                    let after =
-                        rebuilt.slice(a + run_pay.len(), s.len - a - run_pay.len());
-                    rebuilt = Payload::concat(&[before, run_pay, after]);
+                self.outstanding -= 1;
+                if let Response::Err(e) = resp {
+                    return vec![self.fail(e)];
+                }
+                match pending {
+                    Pending::Normal { spans } => {
+                        let payload = match resp.into_payload() {
+                            Ok(p) => p,
+                            Err(e) => return vec![self.fail(e)],
+                        };
+                        let mut cursor = 0u64;
+                        for s in spans {
+                            self.segments.push((s.logical_off, payload.slice(cursor, s.len)));
+                            cursor += s.len;
+                        }
+                    }
+                    Pending::ReconInput { job, slot } => {
+                        let payload = match resp.into_payload() {
+                            Ok(p) => p,
+                            Err(e) => return vec![self.fail(e)],
+                        };
+                        let j = &mut self.recon[job];
+                        debug_assert!(j.inputs[slot].is_none(), "duplicate recon input");
+                        j.inputs[slot] = Some(payload);
+                        j.inputs_missing -= 1;
+                        if j.ready() {
+                            if let Err(e) = self.finish_job(job, &mut effects) {
+                                return vec![self.fail(e)];
+                            }
+                        }
+                    }
+                    Pending::ReconOverlay { job } => {
+                        let runs = match resp {
+                            Response::Runs { runs } => runs,
+                            other => {
+                                return vec![self.fail(CsarError::Protocol(format!(
+                                    "expected Runs reply, got {other:?}"
+                                )))]
+                            }
+                        };
+                        let j = &mut self.recon[job];
+                        j.overlay = Some(Some(runs));
+                        if j.ready() {
+                            if let Err(e) = self.finish_job(job, &mut effects) {
+                                return vec![self.fail(e)];
+                            }
+                        }
+                    }
+                    Pending::Compute => {
+                        return vec![self.fail(CsarError::Protocol(
+                            "reply completion for a compute token".into(),
+                        ))]
+                    }
                 }
             }
-            self.segments.push((job.span.logical_off, rebuilt));
+            Completion::ComputeDone { token } => {
+                match self.pending.remove(&token) {
+                    Some(Pending::Compute) => self.outstanding -= 1,
+                    _ => {
+                        return vec![self.fail(CsarError::Protocol(
+                            "compute completion for a non-compute token".into(),
+                        ))]
+                    }
+                }
+            }
         }
-        if compute_bytes > 0 {
-            self.state = State::Computing;
-            Action::Compute { bytes: compute_bytes }
-        } else {
-            self.assemble()
+        if self.outstanding == 0 {
+            effects.push(self.assemble());
         }
-    }
-
-    fn on_compute_done(&mut self) -> Action {
-        debug_assert_eq!(self.state, State::Computing);
-        self.assemble()
+        effects
     }
 }

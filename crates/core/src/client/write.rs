@@ -12,14 +12,23 @@
 //!   invalidating overflowed ranges); partial groups are appended to the
 //!   overflow region of each block's home server and mirrored to the
 //!   next server. No reads, no locks, in-place data untouched.
+//!
+//! The driver is completion-driven: independent pieces of the write
+//! overlap. The whole-group body goes out as soon as its parity is
+//! computed, Hybrid overflow appends go out at `Begin`, and each partial
+//! group's RMW advances the moment *its* old data and parity arrive —
+//! the only serialization left is the §5.1 rule that the higher group's
+//! lock-read is issued by the lower group's grant, and the invariant
+//! that an RMW group's parity unlock-write is issued after its data
+//! writes.
 
-use super::{first_error, Action, OpDriver, OpOutput};
+use super::{Completion, Effect, OpDriver, OpOutput, Token};
 use crate::error::CsarError;
 use crate::layout::{Layout, Span};
 use crate::manager::FileMeta;
 use crate::proto::{ParityPart, ReqHeader, Request, Response, Scheme, ServerId};
 use csar_store::Payload;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Client-side write state machine. Create with [`WriteDriver::new`],
 /// drive via [`OpDriver`].
@@ -28,13 +37,10 @@ pub struct WriteDriver {
     hdr: ReqHeader,
     off: u64,
     payload: Payload,
-    state: State,
     /// Partial-group RMW contexts (0..=2 entries, lower group first).
     partials: Vec<Partial>,
     /// Whole-group region, if any.
     full: Option<(u64, u64)>,
-    /// Computed parity per whole group.
-    full_parities: Vec<(u64, Payload)>,
     /// Fail-stopped server to write around (degraded mode).
     failed: Option<ServerId>,
     /// Partial spans written in place WITHOUT a parity RMW because the
@@ -42,8 +48,43 @@ pub struct WriteDriver {
     /// unprotected until rebuild).
     plain_partial_spans: Vec<Span>,
     /// Construction-time rejection (e.g. RAID0 spans on the failed
-    /// server), reported by `begin`.
+    /// server), reported by the `Begin` poll.
     planning_error: Option<CsarError>,
+    /// Batch-compat issue order (see [`WriteDriver::set_batch_issue`]):
+    /// whole-group work is held until every partial group's RMW reads
+    /// have landed, instead of fanning out at `Begin`.
+    batch_issue: bool,
+    /// `batch_issue` bookkeeping: a whole-group compute is planned but
+    /// not yet emitted.
+    full_deferred: bool,
+    /// `batch_issue` bookkeeping: completed whole-group parities waiting
+    /// for the combined write flush.
+    batch_full: Option<Vec<(u64, Payload)>>,
+    /// `batch_issue` bookkeeping: completed partial-group RMW parities
+    /// (`partials` index, new parity) waiting for the combined flush.
+    batch_partials: Vec<(usize, Payload)>,
+    started: bool,
+    finished: bool,
+    pending: HashMap<Token, Pending>,
+    /// Outstanding sends + computes; 0 after start means the op is done.
+    outstanding: usize,
+    next_token: Token,
+}
+
+/// What a token's completion means.
+#[derive(Debug)]
+enum Pending {
+    /// Acknowledgement of any write-class request.
+    WriteAck,
+    /// Parity (lock-)read reply for `partials[partial]`.
+    ParityRead { partial: usize },
+    /// Old-data read reply; the payload is the concatenation of the
+    /// referenced `(partial, span slot)` entries in order.
+    DataRead { refs: Vec<(usize, usize)> },
+    /// Whole-group parity XOR finished; carry the results to the writes.
+    ComputeFull { parities: Vec<(u64, Payload)> },
+    /// Partial-group RMW XOR finished for `partials[partial]`.
+    ComputePartial { partial: usize, parity: Payload },
 }
 
 #[derive(Debug)]
@@ -59,23 +100,18 @@ struct Partial {
     /// paying a full stripe-unit of parity traffic per request.
     intra_lo: u64,
     intra_hi: u64,
-    old_data: Option<Payload>,
+    /// Old data per span slot, filled by read completions.
+    old_data: Vec<Option<Payload>>,
+    data_missing: usize,
     old_parity: Option<Payload>,
-    new_parity: Option<Payload>,
+    /// Compute already emitted (readiness latches once).
+    computing: bool,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    Init,
-    /// RAID5 family: waiting for the first batch (lock-read of the lower
-    /// partial group + all old-data reads; for the no-lock variant both
-    /// parity reads ride in this batch).
-    AwaitReadsA,
-    /// Waiting for the lock-read of the higher partial group.
-    AwaitReadsB,
-    Computing,
-    AwaitWrites,
-    Finished,
+impl Partial {
+    fn ready(&self) -> bool {
+        !self.computing && self.data_missing == 0 && self.old_parity.is_some()
+    }
 }
 
 impl WriteDriver {
@@ -84,7 +120,7 @@ impl WriteDriver {
     /// # Panics
     /// Panics if the payload is empty (writes of zero bytes are the
     /// caller's no-op). A scheme/layout mismatch is reported as an error
-    /// by `begin`.
+    /// by the `Begin` poll.
     pub fn new(meta: &FileMeta, off: u64, payload: Payload) -> Self {
         Self::new_degraded(meta, off, payload, None)
     }
@@ -113,7 +149,7 @@ impl WriteDriver {
     /// # Panics
     /// Panics if the payload is empty (writes of zero bytes are the
     /// caller's no-op). A scheme/layout mismatch is reported as an error
-    /// by `begin`.
+    /// by the `Begin` poll.
     pub fn new_degraded(
         meta: &FileMeta,
         off: u64,
@@ -178,15 +214,17 @@ impl WriteDriver {
                     .map(|s| s.logical_off % unit + s.len)
                     .max()
                     .unwrap_or(unit);
+                let n_spans = spans.len();
                 partials.push(Partial {
                     group,
                     len: pl,
                     spans,
                     intra_lo,
                     intra_hi,
-                    old_data: None,
+                    old_data: vec![None; n_spans],
+                    data_missing: n_spans,
                     old_parity: None,
-                    new_parity: None,
+                    computing: false,
                 });
             }
             full = split.full;
@@ -195,14 +233,34 @@ impl WriteDriver {
             hdr,
             off,
             payload,
-            state: State::Init,
             partials,
             full,
-            full_parities: Vec::new(),
             failed,
             plain_partial_spans,
             planning_error,
+            batch_issue: false,
+            full_deferred: false,
+            batch_full: None,
+            batch_partials: Vec::new(),
+            started: false,
+            finished: false,
+            pending: HashMap::new(),
+            outstanding: 0,
+            next_token: 0,
         }
+    }
+
+    /// Batch-compat issue order: hold the whole-group compute (and so
+    /// its writes) until every partial group's RMW reads have landed.
+    /// This is the retired batch engine's schedule — read batch, one
+    /// compute, one write batch — which is also what the paper's
+    /// batch-synchronous PVFS client library did. The simulator's
+    /// barrier mode sets this so paper-reproduction figures keep the
+    /// overwrite RMW stall the testbed measured; the default (off)
+    /// overlaps the whole-group body with the partial-group RMW.
+    pub fn set_batch_issue(&mut self, on: bool) {
+        debug_assert!(!self.started, "issue order fixed before Begin");
+        self.batch_issue = on;
     }
 
     fn layout(&self) -> &Layout {
@@ -227,16 +285,40 @@ impl WriteDriver {
         }
     }
 
+    fn token(&mut self) -> Token {
+        self.next_token += 1;
+        self.next_token - 1
+    }
+
+    fn send(
+        &mut self,
+        effects: &mut Vec<Effect>,
+        srv: ServerId,
+        req: Request,
+        pending: Pending,
+    ) {
+        let token = self.token();
+        self.pending.insert(token, pending);
+        self.outstanding += 1;
+        effects.push(Effect::Send { token, srv, req });
+    }
+
+    fn compute(&mut self, effects: &mut Vec<Effect>, bytes: u64, pending: Pending) {
+        let token = self.token();
+        self.pending.insert(token, pending);
+        self.outstanding += 1;
+        effects.push(Effect::Compute { token, bytes });
+    }
+
     // -------------------------------------------------------------------
-    // Batch builders
+    // Effect builders
     // -------------------------------------------------------------------
 
-    /// RAID0/RAID1: everything in one batch. In degraded mode requests
-    /// for the failed server are dropped (RAID1's surviving copy carries
-    /// the write; RAID0 was rejected at planning time).
-    fn simple_batch(&self) -> Vec<(ServerId, Request)> {
-        let ly = self.layout();
-        let mut batch = Vec::new();
+    /// RAID0/RAID1: every write goes out at `Begin`. In degraded mode
+    /// requests for the failed server are dropped (RAID1's surviving
+    /// copy carries the write; RAID0 was rejected at planning time).
+    fn emit_simple(&mut self, effects: &mut Vec<Effect>) {
+        let ly = *self.layout();
         for (srv, spans) in ly.spans_by_server(self.off, self.payload.len()) {
             if Some(srv) == self.failed {
                 continue;
@@ -245,15 +327,13 @@ impl WriteDriver {
                 .into_iter()
                 .map(|s| (s, self.payload_at(s.logical_off, s.len)))
                 .collect();
-            batch.push((
-                srv,
-                Request::WriteData {
-                    hdr: self.hdr,
-                    spans,
-                    invalidate_primary: false,
-                    invalidate_mirror_spans: vec![],
-                },
-            ));
+            let req = Request::WriteData {
+                hdr: self.hdr,
+                spans,
+                invalidate_primary: false,
+                invalidate_mirror_spans: vec![],
+            };
+            self.send(effects, srv, req, Pending::WriteAck);
         }
         if self.scheme() == Scheme::Raid1 {
             for (srv, spans) in ly.spans_by_mirror_server(self.off, self.payload.len()) {
@@ -264,275 +344,186 @@ impl WriteDriver {
                     .into_iter()
                     .map(|s| (s, self.payload_at(s.logical_off, s.len)))
                     .collect();
-                batch.push((srv, Request::WriteMirror { hdr: self.hdr, spans }));
+                let req = Request::WriteMirror { hdr: self.hdr, spans };
+                self.send(effects, srv, req, Pending::WriteAck);
             }
         }
-        batch
     }
 
-    /// First read batch of the RAID5 RMW path: parity lock-read of the
-    /// first partial group (plus the second too under the no-lock
-    /// variant, where no serialization is needed), and old-data reads for
-    /// every partial span, batched per server.
-    fn rmw_read_batch_a(&self) -> Vec<(ServerId, Request)> {
-        let ly = self.layout();
-        let mut batch = Vec::new();
+    /// RMW reads: old-data reads for every partial span (batched per
+    /// server), and the parity lock-read of the *first* partial group
+    /// only — §5.1 serializes lock acquisition, so the higher group's
+    /// lock-read is issued by the lower grant's completion, while the
+    /// no-lock variant fans out every parity read here.
+    fn emit_rmw_reads(&mut self, effects: &mut Vec<Effect>) {
         let locking = self.scheme().uses_locking();
         // §5.1 deadlock avoidance: parity locks are acquired in ascending
         // group order, so `partials` must be sorted by group (split_write
-        // yields the lower group first; batch B runs strictly after A).
+        // yields the lower group first; the second lock-read is gated on
+        // the first grant).
         debug_assert!(
             self.partials.windows(2).all(|w| w[0].group < w[1].group),
             "parity lock order must be ascending by group (§5.1)"
         );
-        let parity_groups: &[usize] = if locking || self.partials.len() == 1 { &[0] } else { &[0, 1] };
-        for &i in parity_groups {
-            let p = &self.partials[i];
-            let srv = ly.parity_server(p.group);
-            let (intra, len) = (p.intra_lo, p.intra_hi - p.intra_lo);
-            let req = if locking {
-                Request::ParityReadLock { hdr: self.hdr, group: p.group, intra, len }
-            } else {
-                Request::ParityRead { hdr: self.hdr, group: p.group, intra, len }
-            };
-            batch.push((srv, req));
-        }
-        // Old-data reads for all partial spans, one request per server.
-        let mut per_server: BTreeMap<ServerId, Vec<Span>> = BTreeMap::new();
-        for p in &self.partials {
-            for s in &p.spans {
-                let srv = ly.home_server(ly.block_of(s.logical_off));
-                per_server.entry(srv).or_default().push(*s);
+        if locking {
+            if !self.partials.is_empty() {
+                self.emit_parity_read(effects, 0);
+            }
+        } else {
+            for i in 0..self.partials.len() {
+                self.emit_parity_read(effects, i);
             }
         }
-        for (srv, spans) in per_server {
-            batch.push((srv, Request::ReadData { hdr: self.hdr, spans }));
+        // Old-data reads for all partial spans, one request per server.
+        let ly = *self.layout();
+        let mut per_server: BTreeMap<ServerId, (Vec<Span>, Vec<(usize, usize)>)> = BTreeMap::new();
+        for (pi, p) in self.partials.iter().enumerate() {
+            for (si, s) in p.spans.iter().enumerate() {
+                let srv = ly.home_server(ly.block_of(s.logical_off));
+                let e = per_server.entry(srv).or_default();
+                e.0.push(*s);
+                e.1.push((pi, si));
+            }
         }
-        batch
+        for (srv, (spans, refs)) in per_server {
+            let req = Request::ReadData { hdr: self.hdr, spans };
+            self.send(effects, srv, req, Pending::DataRead { refs });
+        }
     }
 
-    /// Second read batch: the lock-read for the higher partial group
-    /// (§5.1: strictly after the lower group's lock is held).
-    fn rmw_read_batch_b(&self) -> Vec<(ServerId, Request)> {
-        let ly = self.layout();
-        let p = &self.partials[1];
-        vec![(
-            ly.parity_server(p.group),
-            Request::ParityReadLock {
+    /// The parity (lock-)read of `partials[i]`.
+    fn emit_parity_read(&mut self, effects: &mut Vec<Effect>, i: usize) {
+        let ly = *self.layout();
+        let p = &self.partials[i];
+        let srv = ly.parity_server(p.group);
+        let (group, intra, len) = (p.group, p.intra_lo, p.intra_hi - p.intra_lo);
+        let req = if self.scheme().uses_locking() {
+            Request::ParityReadLock { hdr: self.hdr, group, intra, len }
+        } else {
+            Request::ParityRead { hdr: self.hdr, group, intra, len }
+        };
+        self.send(effects, srv, req, Pending::ParityRead { partial: i });
+    }
+
+    /// Degraded RAID5 with the group's parity server dead: the data goes
+    /// in place with no RMW.
+    fn emit_plain_partials(&mut self, effects: &mut Vec<Effect>) {
+        let ly = *self.layout();
+        let mut per_server: BTreeMap<ServerId, Vec<(Span, Payload)>> = BTreeMap::new();
+        for s in std::mem::take(&mut self.plain_partial_spans) {
+            let srv = ly.home_server(ly.block_of(s.logical_off));
+            per_server.entry(srv).or_default().push((s, self.payload_at(s.logical_off, s.len)));
+        }
+        for (srv, spans) in per_server {
+            let req = Request::WriteData {
                 hdr: self.hdr,
-                group: p.group,
-                intra: p.intra_lo,
-                len: p.intra_hi - p.intra_lo,
-            },
-        )]
+                spans,
+                invalidate_primary: false,
+                invalidate_mirror_spans: vec![],
+            };
+            self.send(effects, srv, req, Pending::WriteAck);
+        }
     }
 
-    /// Compute new parity for all partial groups (RMW) and all whole
-    /// groups. Returns bytes of XOR work for the `Compute` action. A
-    /// missing old-data/old-parity read is a protocol error (a server
-    /// replied out of shape), not a client panic.
-    fn compute_parities(&mut self) -> Result<u64, CsarError> {
+    /// Hybrid partial writes: overflow appends (primary + mirror), out
+    /// at `Begin` — they overlap the whole-group body entirely. In
+    /// degraded mode the surviving copy carries the write alone.
+    fn emit_overflow_writes(&mut self, effects: &mut Vec<Effect>) {
+        let ly = *self.layout();
+        let mut primary: BTreeMap<ServerId, Vec<(Span, Payload)>> = BTreeMap::new();
+        let mut mirror: BTreeMap<ServerId, Vec<(Span, Payload)>> = BTreeMap::new();
+        for p in &self.partials {
+            for s in &p.spans {
+                let b = ly.block_of(s.logical_off);
+                let pay = self.payload.slice(s.logical_off - self.off, s.len);
+                if Some(ly.home_server(b)) != self.failed {
+                    primary.entry(ly.home_server(b)).or_default().push((*s, pay.clone()));
+                }
+                if Some(ly.mirror_server(b)) != self.failed {
+                    mirror.entry(ly.mirror_server(b)).or_default().push((*s, pay));
+                }
+            }
+        }
+        for (srv, spans) in primary {
+            let req = Request::OverflowWrite { hdr: self.hdr, spans, mirror: false };
+            self.send(effects, srv, req, Pending::WriteAck);
+        }
+        for (srv, spans) in mirror {
+            let req = Request::OverflowWrite { hdr: self.hdr, spans, mirror: true };
+            self.send(effects, srv, req, Pending::WriteAck);
+        }
+    }
+
+    /// Compute the whole-group parities and emit the `Compute` charge;
+    /// the writes go out on its completion.
+    fn emit_full_compute(&mut self, effects: &mut Vec<Effect>) {
         let ly = *self.layout();
         let unit = ly.stripe_unit;
         let npc = self.scheme() == Scheme::Raid5NoParityCompute;
+        let Some((fo, flen)) = self.full else { return };
         let mut bytes = 0u64;
-
-        // Whole groups: fold the n-1 fresh blocks.
-        if let Some((fo, flen)) = self.full {
-            for g in ly.full_groups(fo, flen) {
-                let parity = if npc {
-                    self.blank(unit)
-                } else {
-                    let first = ly.group_first_block(g);
-                    let mut acc = self.payload_at(first * unit, unit);
-                    for b in first + 1..first + ly.group_width_blocks() {
-                        acc = acc.xor(&self.payload_at(b * unit, unit));
-                    }
-                    bytes += ly.group_width_blocks() * unit;
-                    acc
-                };
-                self.full_parities.push((g, parity));
-            }
+        let mut parities = Vec::new();
+        for g in ly.full_groups(fo, flen) {
+            let parity = if npc {
+                self.blank(unit)
+            } else {
+                let first = ly.group_first_block(g);
+                let mut acc = self.payload_at(first * unit, unit);
+                for b in first + 1..first + ly.group_width_blocks() {
+                    acc = acc.xor(&self.payload_at(b * unit, unit));
+                }
+                bytes += ly.group_width_blocks() * unit;
+                acc
+            };
+            parities.push((g, parity));
         }
-
-        // Partial groups (RAID5 family only — Hybrid never reads/updates
-        // parity for partials): P' = P ⊕ (D_old ⊕ D_new) folded at each
-        // span's intra-block offset.
-        if self.scheme() != Scheme::Hybrid {
-            for i in 0..self.partials.len() {
-                let (spans, old_data, old_parity, len_total, lo, hi) = {
-                    let p = &self.partials[i];
-                    (
-                        p.spans.clone(),
-                        p.old_data.clone(),
-                        p.old_parity.clone(),
-                        p.len,
-                        p.intra_lo,
-                        p.intra_hi,
-                    )
-                };
-                let old_parity = old_parity
-                    .ok_or_else(|| CsarError::Protocol("old parity not read before compute".into()))?;
-                debug_assert_eq!(old_parity.len(), hi - lo);
-                let new_parity = if npc {
-                    self.blank(hi - lo)
-                } else {
-                    let old_data = old_data
-                        .ok_or_else(|| CsarError::Protocol("old data not read before compute".into()))?;
-                    // Walk spans: old_data is their concatenation. The
-                    // parity buffer covers intra range [lo, hi).
-                    let mut parity = old_parity;
-                    let mut consumed = 0u64;
-                    for s in &spans {
-                        let old = old_data.slice(consumed, s.len);
-                        consumed += s.len;
-                        let new = self.payload_at(s.logical_off, s.len);
-                        let delta = old.xor(&new);
-                        let intra = s.logical_off % unit - lo;
-                        // Fold delta into parity at the intra offset.
-                        let before = parity.slice(0, intra);
-                        let target = parity.slice(intra, s.len);
-                        let after =
-                            parity.slice(intra + s.len, (hi - lo) - intra - s.len);
-                        parity = Payload::concat(&[before, target.xor(&delta), after]);
-                    }
-                    bytes += 3 * len_total;
-                    parity
-                };
-                self.partials[i].new_parity = Some(new_parity);
-            }
-        }
-        Ok(bytes)
+        self.compute(effects, bytes, Pending::ComputeFull { parities });
     }
 
-    /// The final write batch: per-server data writes, parity writes,
-    /// unlock-writes for RMW groups, and (Hybrid) overflow appends.
-    fn write_batch(&mut self) -> Result<Vec<(ServerId, Request)>, CsarError> {
+    /// Whole-group writes, issued by the full compute's completion:
+    /// per-server data writes, parity writes, and (Hybrid) overflow
+    /// invalidations riding whichever request targets that server.
+    fn emit_full_writes(&mut self, effects: &mut Vec<Effect>, parities: Vec<(u64, Payload)>) {
         let ly = *self.layout();
-        let unit = ly.stripe_unit;
         let hybrid = self.scheme() == Scheme::Hybrid;
-        let locking = self.scheme().uses_locking();
+        let Some((fo, flen)) = self.full else { return };
 
-        // Per-server accumulation for the full region.
         let mut data_spans: BTreeMap<ServerId, Vec<(Span, Payload)>> = BTreeMap::new();
         let mut parity_parts: BTreeMap<ServerId, Vec<ParityPart>> = BTreeMap::new();
         let mut mirror_inval: BTreeMap<ServerId, Vec<Span>> = BTreeMap::new();
 
-        if let Some((fo, flen)) = self.full {
-            for (srv, spans) in ly.spans_by_server(fo, flen) {
-                if Some(srv) == self.failed {
-                    // The dead block's fresh contents are implied by the
-                    // group's new parity.
-                    continue;
-                }
-                let spans = spans
-                    .into_iter()
-                    .map(|s| (s, self.payload_at(s.logical_off, s.len)))
-                    .collect::<Vec<_>>();
-                data_spans.insert(srv, spans);
+        for (srv, spans) in ly.spans_by_server(fo, flen) {
+            if Some(srv) == self.failed {
+                // The dead block's fresh contents are implied by the
+                // group's new parity.
+                continue;
             }
-            for (g, parity) in self.full_parities.drain(..) {
-                let psrv = ly.parity_server(g);
-                if Some(psrv) == self.failed {
-                    // Group unprotected until rebuild.
-                    continue;
-                }
-                parity_parts
-                    .entry(psrv)
-                    .or_default()
-                    .push(ParityPart { group: g, intra: 0, payload: parity });
-            }
-            if hybrid {
-                for (srv, spans) in ly.spans_by_mirror_server(fo, flen) {
-                    if Some(srv) == self.failed {
-                        continue;
-                    }
-                    mirror_inval.insert(srv, spans);
-                }
-            }
+            let spans = spans
+                .into_iter()
+                .map(|s| (s, self.payload_at(s.logical_off, s.len)))
+                .collect::<Vec<_>>();
+            data_spans.insert(srv, spans);
         }
-
-        let mut batch: Vec<(ServerId, Request)> = Vec::new();
-        // Unlock-writes go out LAST (the paper's step 3 order: "write
-        // out the new data and new parity"): the lock is held while the
-        // op's data streams through the client link, which is what makes
-        // contended partial stripes serialize whole writes (Fig. 6a's
-        // 25-process RAID5 drop).
-        let mut tail: Vec<(ServerId, Request)> = Vec::new();
-
-        // RAID5-family partial writes: in-place data + parity unlock.
-        // Plain partial spans (their parity server is the failed one)
-        // are written in place without an RMW.
-        if !hybrid {
-            let mut partial_data: BTreeMap<ServerId, Vec<(Span, Payload)>> = BTreeMap::new();
-            for s in self
-                .partials
-                .iter()
-                .flat_map(|p| p.spans.iter())
-                .chain(self.plain_partial_spans.iter())
-            {
-                let srv = ly.home_server(ly.block_of(s.logical_off));
-                partial_data
-                    .entry(srv)
-                    .or_default()
-                    .push((*s, self.payload_at(s.logical_off, s.len)));
+        for (g, parity) in parities {
+            let psrv = ly.parity_server(g);
+            if Some(psrv) == self.failed {
+                // Group unprotected until rebuild.
+                continue;
             }
-            for (srv, spans) in partial_data {
-                data_spans.entry(srv).or_default().extend(spans);
-            }
-            for p in &mut self.partials {
-                let parity = p
-                    .new_parity
-                    .take()
-                    .ok_or_else(|| CsarError::Protocol("parity not computed before write".into()))?;
-                let srv = ly.parity_server(p.group);
-                if locking {
-                    tail.push((
-                        srv,
-                        Request::ParityWriteUnlock {
-                            hdr: self.hdr,
-                            group: p.group,
-                            intra: p.intra_lo,
-                            payload: parity,
-                        },
-                    ));
-                } else {
-                    parity_parts
-                        .entry(srv)
-                        .or_default()
-                        .push(ParityPart { group: p.group, intra: p.intra_lo, payload: parity });
-                }
-            }
+            parity_parts
+                .entry(psrv)
+                .or_default()
+                .push(ParityPart { group: g, intra: 0, payload: parity });
         }
-
-        // Hybrid partial writes: overflow appends (primary + mirror). In
-        // degraded mode the surviving copy carries the write alone.
         if hybrid {
-            let mut primary: BTreeMap<ServerId, Vec<(Span, Payload)>> = BTreeMap::new();
-            let mut mirror: BTreeMap<ServerId, Vec<(Span, Payload)>> = BTreeMap::new();
-            for p in &self.partials {
-                for s in &p.spans {
-                    let b = ly.block_of(s.logical_off);
-                    let pay = self.payload_at(s.logical_off, s.len);
-                    if Some(ly.home_server(b)) != self.failed {
-                        primary.entry(ly.home_server(b)).or_default().push((*s, pay.clone()));
-                    }
-                    if Some(ly.mirror_server(b)) != self.failed {
-                        mirror.entry(ly.mirror_server(b)).or_default().push((*s, pay));
-                    }
+            for (srv, spans) in ly.spans_by_mirror_server(fo, flen) {
+                if Some(srv) == self.failed {
+                    continue;
                 }
-            }
-            for (srv, spans) in primary {
-                batch.push((srv, Request::OverflowWrite { hdr: self.hdr, spans, mirror: false }));
-            }
-            for (srv, spans) in mirror {
-                batch.push((srv, Request::OverflowWrite { hdr: self.hdr, spans, mirror: true }));
+                mirror_inval.insert(srv, spans);
             }
         }
 
-        // Emit per-server data writes (with Hybrid invalidations attached)
-        // and parity writes; leftover mirror invalidations ride on the
-        // parity write of that server.
         let servers: Vec<ServerId> = data_spans
             .keys()
             .chain(parity_parts.keys())
@@ -544,184 +535,299 @@ impl WriteDriver {
             let inval = mirror_inval.remove(&srv).unwrap_or_default();
             let has_data = data_spans.contains_key(&srv);
             if let Some(spans) = data_spans.remove(&srv) {
-                batch.push((
-                    srv,
-                    Request::WriteData {
-                        hdr: self.hdr,
-                        spans,
-                        invalidate_primary: hybrid,
-                        invalidate_mirror_spans: if has_data { inval.clone() } else { vec![] },
-                    },
-                ));
+                let req = Request::WriteData {
+                    hdr: self.hdr,
+                    spans,
+                    invalidate_primary: hybrid,
+                    invalidate_mirror_spans: if has_data { inval.clone() } else { vec![] },
+                };
+                self.send(effects, srv, req, Pending::WriteAck);
             }
             if let Some(parts) = parity_parts.remove(&srv) {
-                batch.push((
-                    srv,
-                    Request::WriteParity {
-                        hdr: self.hdr,
-                        parts,
-                        invalidate_mirror_spans: if has_data { vec![] } else { inval },
-                    },
-                ));
+                let req = Request::WriteParity {
+                    hdr: self.hdr,
+                    parts,
+                    invalidate_mirror_spans: if has_data { vec![] } else { inval },
+                };
+                self.send(effects, srv, req, Pending::WriteAck);
             }
         }
-        batch.extend(tail);
         debug_assert!(
             mirror_inval.is_empty(),
             "mirror invalidations left without a carrier request: {mirror_inval:?}"
         );
-        let _ = unit;
-        Ok(batch)
     }
 
-    fn finish(&mut self) -> Action {
-        self.state = State::Finished;
-        Action::Done(Ok(OpOutput::Written { bytes: self.payload.len() }))
+    /// `partials[i]` has its old data and old parity: compute
+    /// `P' = P ⊕ D_old ⊕ D_new` over the intra range and emit the
+    /// `Compute` charge.
+    fn emit_partial_compute(&mut self, effects: &mut Vec<Effect>, i: usize) -> Result<(), CsarError> {
+        let unit = self.layout().stripe_unit;
+        let npc = self.scheme() == Scheme::Raid5NoParityCompute;
+        self.partials[i].computing = true;
+        let (lo, hi, len_total) = {
+            let p = &self.partials[i];
+            (p.intra_lo, p.intra_hi, p.len)
+        };
+        let old_parity = self.partials[i]
+            .old_parity
+            .clone()
+            .ok_or_else(|| CsarError::Protocol("old parity not read before compute".into()))?;
+        debug_assert_eq!(old_parity.len(), hi - lo);
+        let (parity, bytes) = if npc {
+            (self.blank(hi - lo), 0)
+        } else {
+            let spans = self.partials[i].spans.clone();
+            let old_data = std::mem::take(&mut self.partials[i].old_data);
+            let mut parity = old_parity;
+            for (si, s) in spans.iter().enumerate() {
+                let old = old_data[si]
+                    .clone()
+                    .ok_or_else(|| CsarError::Protocol("old data not read before compute".into()))?;
+                let new = self.payload_at(s.logical_off, s.len);
+                let delta = old.xor(&new);
+                let intra = s.logical_off % unit - lo;
+                // Fold delta into parity at the intra offset.
+                let before = parity.slice(0, intra);
+                let target = parity.slice(intra, s.len);
+                let after = parity.slice(intra + s.len, (hi - lo) - intra - s.len);
+                parity = Payload::concat(&[before, target.xor(&delta), after]);
+            }
+            (parity, 3 * len_total)
+        };
+        self.compute(effects, bytes, Pending::ComputePartial { partial: i, parity });
+        Ok(())
     }
 
-    fn fail(&mut self, e: CsarError) -> Action {
-        self.state = State::Finished;
-        Action::Done(Err(e))
+    /// `partials[i]`'s new parity is ready: write the new data, then —
+    /// strictly after the data writes are issued — the parity
+    /// unlock-write. The unlock goes out LAST (the paper's step 3 order:
+    /// "write out the new data and new parity"): the lock is held while
+    /// the op's data streams through the client link, which is what
+    /// makes contended partial stripes serialize whole writes (Fig. 6a's
+    /// 25-process RAID5 drop).
+    fn emit_partial_writes(&mut self, effects: &mut Vec<Effect>, i: usize, parity: Payload) {
+        self.emit_partial_data_writes(effects, i);
+        self.emit_partial_parity_write(effects, i, parity);
+    }
+
+    /// `partials[i]`'s in-place data writes, one request per server.
+    fn emit_partial_data_writes(&mut self, effects: &mut Vec<Effect>, i: usize) {
+        let ly = *self.layout();
+        let mut per_server: BTreeMap<ServerId, Vec<(Span, Payload)>> = BTreeMap::new();
+        for s in self.partials[i].spans.clone() {
+            let srv = ly.home_server(ly.block_of(s.logical_off));
+            per_server.entry(srv).or_default().push((s, self.payload_at(s.logical_off, s.len)));
+        }
+        for (srv, spans) in per_server {
+            let req = Request::WriteData {
+                hdr: self.hdr,
+                spans,
+                invalidate_primary: false,
+                invalidate_mirror_spans: vec![],
+            };
+            self.send(effects, srv, req, Pending::WriteAck);
+        }
+    }
+
+    /// `partials[i]`'s parity write: an unlock-write under locking, a
+    /// plain parity write for the no-lock variant.
+    fn emit_partial_parity_write(&mut self, effects: &mut Vec<Effect>, i: usize, parity: Payload) {
+        let ly = *self.layout();
+        let p = &self.partials[i];
+        let (group, intra) = (p.group, p.intra_lo);
+        let srv = ly.parity_server(group);
+        let req = if self.scheme().uses_locking() {
+            Request::ParityWriteUnlock { hdr: self.hdr, group, intra, payload: parity }
+        } else {
+            Request::WriteParity {
+                hdr: self.hdr,
+                parts: vec![ParityPart { group, intra, payload: parity }],
+                invalidate_mirror_spans: vec![],
+            }
+        };
+        self.send(effects, srv, req, Pending::WriteAck);
+    }
+
+    /// Batch-compat: release the deferred whole-group compute once every
+    /// partial group's RMW reads have landed (all partials computing).
+    fn maybe_emit_deferred_full(&mut self, effects: &mut Vec<Effect>) {
+        if self.full_deferred && self.partials.iter().all(|p| p.computing) {
+            self.full_deferred = false;
+            self.emit_full_compute(effects);
+        }
+    }
+
+    /// Batch-compat: once every planned compute has finished, issue ONE
+    /// combined write wave in the retired engine's order — whole-group
+    /// writes, partial data writes, and the parity unlock-writes
+    /// strictly last. Holding the locks across the whole wave's client
+    /// transmission is what serializes contended partial stripes
+    /// (Fig. 6a's 25-process RAID5 collapse); the pipelined default
+    /// releases each group as soon as its own RMW completes.
+    fn maybe_flush_batch_writes(&mut self, effects: &mut Vec<Effect>) {
+        let all_done = !self.full_deferred
+            && (self.full.is_none() || self.batch_full.is_some())
+            && self.batch_partials.len() == self.partials.len();
+        if !all_done {
+            return;
+        }
+        if let Some(parities) = self.batch_full.take() {
+            self.emit_full_writes(effects, parities);
+        }
+        let parts = std::mem::take(&mut self.batch_partials);
+        for &(i, _) in &parts {
+            self.emit_partial_data_writes(effects, i);
+        }
+        for (i, parity) in parts {
+            self.emit_partial_parity_write(effects, i, parity);
+        }
+    }
+
+    fn fail(&mut self, e: CsarError) -> Effect {
+        self.finished = true;
+        Effect::Done(Err(e))
     }
 }
 
 impl OpDriver for WriteDriver {
-    fn begin(&mut self) -> Action {
-        debug_assert_eq!(self.state, State::Init);
-        if let Some(e) = self.planning_error.take() {
-            return self.fail(e);
+    fn poll(&mut self, c: Completion) -> Vec<Effect> {
+        if self.finished {
+            // Late completions of an op that already reported Done.
+            return Vec::new();
         }
-        match self.scheme() {
-            Scheme::Raid0 | Scheme::Raid1 => {
-                self.state = State::AwaitWrites;
-                Action::Send(self.simple_batch())
-            }
-            Scheme::Hybrid => {
-                // No reads ever: compute full-group parity (if any) and write.
-                self.state = State::Computing;
-                match self.compute_parities() {
-                    Ok(bytes) => Action::Compute { bytes },
-                    Err(e) => self.fail(e),
+        let mut effects = Vec::new();
+        match c {
+            Completion::Begin => {
+                debug_assert!(!self.started, "Begin polled twice");
+                self.started = true;
+                if let Some(e) = self.planning_error.take() {
+                    return vec![self.fail(e)];
                 }
-            }
-            _ => {
-                if self.partials.is_empty() {
-                    self.state = State::Computing;
-                    match self.compute_parities() {
-                        Ok(bytes) => Action::Compute { bytes },
-                        Err(e) => self.fail(e),
+                match self.scheme() {
+                    Scheme::Raid0 | Scheme::Raid1 => self.emit_simple(&mut effects),
+                    Scheme::Hybrid => {
+                        // No reads, no locks: overflow appends and the
+                        // whole-group body fan out together.
+                        self.emit_overflow_writes(&mut effects);
+                        self.emit_full_compute(&mut effects);
                     }
-                } else {
-                    self.state = State::AwaitReadsA;
-                    Action::Send(self.rmw_read_batch_a())
-                }
-            }
-        }
-    }
-
-    fn on_replies(&mut self, replies: Vec<Response>) -> Action {
-        if let Some(e) = first_error(&replies) {
-            return self.fail(e);
-        }
-        match self.state {
-            State::AwaitReadsA => {
-                // Replies: parity reads (1, or 2 for no-lock) then data
-                // reads per server in ascending server order.
-                let locking = self.scheme().uses_locking();
-                let n_parity = if locking || self.partials.len() == 1 { 1 } else { 2 };
-                let mut iter = replies.into_iter();
-                for i in 0..n_parity {
-                    match iter.next() {
-                        Some(r) => match r.into_payload() {
-                            Ok(p) => self.partials[i].old_parity = Some(p),
-                            Err(e) => return self.fail(e),
-                        },
-                        None => {
-                            return self.fail(CsarError::Protocol("missing parity reply".into()))
+                    _ => {
+                        self.emit_plain_partials(&mut effects);
+                        self.emit_rmw_reads(&mut effects);
+                        if self.batch_issue && !self.partials.is_empty() {
+                            // Batch-compat: whole-group work rides behind
+                            // the RMW chain (see `set_batch_issue`).
+                            self.full_deferred = true;
+                        } else {
+                            self.emit_full_compute(&mut effects);
                         }
                     }
                 }
-                // Data replies: reconstruct which spans went to which
-                // server (same grouping as rmw_read_batch_a).
-                let ly = *self.layout();
-                let mut per_server: BTreeMap<ServerId, Vec<(usize, usize)>> = BTreeMap::new();
-                for (pi, p) in self.partials.iter().enumerate() {
-                    for (si, s) in p.spans.iter().enumerate() {
-                        let srv = ly.home_server(ly.block_of(s.logical_off));
-                        per_server.entry(srv).or_default().push((pi, si));
-                    }
+            }
+            Completion::Reply { token, resp } => {
+                let Some(pending) = self.pending.remove(&token) else {
+                    return vec![self.fail(CsarError::Protocol(format!(
+                        "reply for unknown token {token}"
+                    )))];
+                };
+                self.outstanding -= 1;
+                if let Response::Err(e) = resp {
+                    return vec![self.fail(e)];
                 }
-                // Gather per-partial old data in span order.
-                let mut per_partial: Vec<Vec<Option<Payload>>> = self
-                    .partials
-                    .iter()
-                    .map(|p| vec![None; p.spans.len()])
-                    .collect();
-                for (_, refs) in per_server {
-                    let reply = match iter.next() {
-                        Some(r) => match r.into_payload() {
+                match pending {
+                    Pending::WriteAck => {}
+                    Pending::ParityRead { partial } => {
+                        let payload = match resp.into_payload() {
                             Ok(p) => p,
-                            Err(e) => return self.fail(e),
-                        },
-                        None => return self.fail(CsarError::Protocol("missing data reply".into())),
-                    };
-                    let mut cursor = 0u64;
-                    for (pi, si) in refs {
-                        let len = self.partials[pi].spans[si].len;
-                        per_partial[pi][si] = Some(reply.slice(cursor, len));
-                        cursor += len;
-                    }
-                }
-                for (pi, parts) in per_partial.into_iter().enumerate() {
-                    let mut gathered: Vec<Payload> = Vec::with_capacity(parts.len());
-                    for p in parts {
-                        match p {
-                            Some(p) => gathered.push(p),
-                            None => {
-                                return self.fail(CsarError::Protocol(
-                                    "old-data replies left a span unfilled".into(),
-                                ))
+                            Err(e) => return vec![self.fail(e)],
+                        };
+                        self.partials[partial].old_parity = Some(payload);
+                        // §5.1: the lower group's grant issues the higher
+                        // group's lock-read.
+                        let next = partial + 1;
+                        if self.scheme().uses_locking() && next < self.partials.len() {
+                            self.emit_parity_read(&mut effects, next);
+                        }
+                        if self.partials[partial].ready() {
+                            if let Err(e) = self.emit_partial_compute(&mut effects, partial) {
+                                return vec![self.fail(e)];
                             }
                         }
+                        self.maybe_emit_deferred_full(&mut effects);
                     }
-                    self.partials[pi].old_data = Some(Payload::concat(&gathered));
-                }
-
-                if locking && self.partials.len() == 2 {
-                    self.state = State::AwaitReadsB;
-                    Action::Send(self.rmw_read_batch_b())
-                } else {
-                    self.state = State::Computing;
-                    match self.compute_parities() {
-                        Ok(bytes) => Action::Compute { bytes },
-                        Err(e) => self.fail(e),
+                    Pending::DataRead { refs } => {
+                        let payload = match resp.into_payload() {
+                            Ok(p) => p,
+                            Err(e) => return vec![self.fail(e)],
+                        };
+                        let mut cursor = 0u64;
+                        let mut touched: Vec<usize> = Vec::new();
+                        for (pi, si) in refs {
+                            let len = self.partials[pi].spans[si].len;
+                            let p = &mut self.partials[pi];
+                            debug_assert!(p.old_data[si].is_none(), "duplicate old-data reply");
+                            p.old_data[si] = Some(payload.slice(cursor, len));
+                            p.data_missing -= 1;
+                            cursor += len;
+                            if !touched.contains(&pi) {
+                                touched.push(pi);
+                            }
+                        }
+                        for pi in touched {
+                            if self.partials[pi].ready() {
+                                if let Err(e) = self.emit_partial_compute(&mut effects, pi) {
+                                    return vec![self.fail(e)];
+                                }
+                            }
+                        }
+                        self.maybe_emit_deferred_full(&mut effects);
+                    }
+                    Pending::ComputeFull { .. } | Pending::ComputePartial { .. } => {
+                        return vec![self.fail(CsarError::Protocol(
+                            "reply completion for a compute token".into(),
+                        ))]
                     }
                 }
             }
-            State::AwaitReadsB => {
-                let mut iter = replies.into_iter();
-                match iter.next().map(Response::into_payload) {
-                    Some(Ok(p)) => self.partials[1].old_parity = Some(p),
-                    Some(Err(e)) => return self.fail(e),
-                    None => return self.fail(CsarError::Protocol("missing parity reply".into())),
-                }
-                self.state = State::Computing;
-                match self.compute_parities() {
-                    Ok(bytes) => Action::Compute { bytes },
-                    Err(e) => self.fail(e),
+            Completion::ComputeDone { token } => {
+                let Some(pending) = self.pending.remove(&token) else {
+                    return vec![self.fail(CsarError::Protocol(format!(
+                        "compute completion for unknown token {token}"
+                    )))];
+                };
+                self.outstanding -= 1;
+                match pending {
+                    Pending::ComputeFull { parities } => {
+                        // Hybrid never locks or defers: its one compute
+                        // feeds the whole-group writes directly.
+                        if self.batch_issue && self.scheme() != Scheme::Hybrid {
+                            self.batch_full = Some(parities);
+                            self.maybe_flush_batch_writes(&mut effects);
+                        } else {
+                            self.emit_full_writes(&mut effects, parities)
+                        }
+                    }
+                    Pending::ComputePartial { partial, parity } => {
+                        if self.batch_issue {
+                            self.batch_partials.push((partial, parity));
+                            self.maybe_flush_batch_writes(&mut effects);
+                        } else {
+                            self.emit_partial_writes(&mut effects, partial, parity)
+                        }
+                    }
+                    _ => {
+                        return vec![self.fail(CsarError::Protocol(
+                            "compute completion for a non-compute token".into(),
+                        ))]
+                    }
                 }
             }
-            State::AwaitWrites => self.finish(),
-            s => self.fail(CsarError::Protocol(format!("unexpected replies in state {s:?}"))),
         }
-    }
-
-    fn on_compute_done(&mut self) -> Action {
-        debug_assert_eq!(self.state, State::Computing);
-        self.state = State::AwaitWrites;
-        match self.write_batch() {
-            Ok(batch) => Action::Send(batch),
-            Err(e) => self.fail(e),
+        if self.outstanding == 0 {
+            self.finished = true;
+            effects.push(Effect::Done(Ok(OpOutput::Written { bytes: self.payload.len() })));
         }
+        effects
     }
 }

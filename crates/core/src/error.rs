@@ -29,6 +29,14 @@ pub enum CsarError {
     },
     /// Transport-level failure in the live cluster (channel closed).
     Transport(String),
+    /// A request's per-request deadline expired (retries included). The
+    /// server that failed to reply is named so callers can fence it.
+    Timeout {
+        /// The server that did not reply in time.
+        server: u32,
+        /// Total time waited across all attempts, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for CsarError {
@@ -44,6 +52,9 @@ impl fmt::Display for CsarError {
                 write!(f, "{scheme} needs at least 2 I/O servers, got {servers}")
             }
             CsarError::Transport(why) => write!(f, "transport error: {why}"),
+            CsarError::Timeout { server, waited_ms } => {
+                write!(f, "I/O server {server} did not reply within {waited_ms} ms")
+            }
         }
     }
 }

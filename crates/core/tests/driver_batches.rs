@@ -1,9 +1,11 @@
-//! White-box tests of the client drivers' *batch shapes*: which requests
-//! go to which servers, in which order, across phases. These pin the
-//! protocol details the paper specifies (§4, §5.1) independently of any
-//! server behaviour.
+//! White-box tests of the client drivers' *effect shapes*: which
+//! requests go to which servers, in which issue order, and which
+//! completions unblock them. These pin the protocol details the paper
+//! specifies (§4, §5.1) independently of any server behaviour, plus the
+//! pipelining contract: independent effects are issued without waiting
+//! for unrelated completions.
 
-use csar_core::client::{Action, OpDriver, ReadDriver, WriteDriver};
+use csar_core::client::{Completion, Effect, OpDriver, OpOutput, ReadDriver, Token, WriteDriver};
 use csar_core::manager::FileMeta;
 use csar_core::proto::{Request, Response, Scheme, ServerId};
 use csar_core::{CsarError, Layout};
@@ -19,18 +21,70 @@ fn payload(len: usize) -> Payload {
     Payload::from_vec(vec![7u8; len])
 }
 
-fn expect_send(action: Action) -> Vec<(ServerId, Request)> {
-    match action {
-        Action::Send(batch) => batch,
-        other => panic!("expected Send, got {other:?}"),
+fn begin(d: &mut dyn OpDriver) -> Vec<Effect> {
+    d.poll(Completion::Begin)
+}
+
+/// The `Send` effects, in issue order.
+fn sends(effects: &[Effect]) -> Vec<(Token, ServerId, Request)> {
+    effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Send { token, srv, req } => Some((*token, *srv, req.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The `Compute` effects, in issue order.
+fn computes(effects: &[Effect]) -> Vec<(Token, u64)> {
+    effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Compute { token, bytes } => Some((*token, *bytes)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn done(effects: &[Effect]) -> Option<&Result<OpOutput, CsarError>> {
+    effects.iter().find_map(|e| match e {
+        Effect::Done(r) => Some(r),
+        _ => None,
+    })
+}
+
+/// A plausible success reply for any request (read-class replies carry
+/// zero-filled payloads of the right size).
+fn synth_reply(req: &Request) -> Response {
+    match req {
+        Request::ParityRead { len, .. } | Request::ParityReadLock { len, .. } => {
+            Response::Data { payload: payload(*len as usize) }
+        }
+        Request::ReadData { spans, .. }
+        | Request::ReadMirror { spans, .. }
+        | Request::ReadLatest { spans, .. } => Response::Data {
+            payload: payload(spans.iter().map(|s| s.len).sum::<u64>() as usize),
+        },
+        Request::OverflowFetch { .. } => Response::Runs { runs: vec![] },
+        _ => Response::Done { bytes: req.payload_bytes() },
     }
 }
 
-fn expect_compute(action: Action) -> u64 {
-    match action {
-        Action::Compute { bytes } => bytes,
-        other => panic!("expected Compute, got {other:?}"),
+/// Complete every outstanding effect FIFO until the driver reports Done.
+fn drain(d: &mut dyn OpDriver, effects: Vec<Effect>) -> Result<OpOutput, CsarError> {
+    let mut queue: std::collections::VecDeque<Effect> = effects.into();
+    while let Some(e) = queue.pop_front() {
+        let more = match e {
+            Effect::Send { token, req, .. } => {
+                d.poll(Completion::Reply { token, resp: synth_reply(&req) })
+            }
+            Effect::Compute { token, .. } => d.poll(Completion::ComputeDone { token }),
+            Effect::Done(r) => return r,
+        };
+        queue.extend(more);
     }
+    panic!("driver stalled without completing");
 }
 
 fn name(req: &Request) -> &'static str {
@@ -51,21 +105,24 @@ fn name(req: &Request) -> &'static str {
 }
 
 // ---------------------------------------------------------------------------
-// Write batch shapes
+// Write effect shapes
 // ---------------------------------------------------------------------------
 
 #[test]
 fn raid0_is_one_data_write_per_server() {
     // 4 servers, write covering blocks 0..4 → every server gets exactly
-    // one WriteData and nothing else.
+    // one WriteData and nothing else, all issued at Begin.
     let m = meta(Scheme::Raid0, 4);
     let mut d = WriteDriver::new(&m, 0, payload(4 * UNIT as usize));
-    let batch = expect_send(d.begin());
+    let effects = begin(&mut d);
+    let batch = sends(&effects);
     assert_eq!(batch.len(), 4);
-    let mut servers: Vec<ServerId> = batch.iter().map(|(s, _)| *s).collect();
+    assert!(computes(&effects).is_empty());
+    let mut servers: Vec<ServerId> = batch.iter().map(|(_, s, _)| *s).collect();
     servers.sort_unstable();
     assert_eq!(servers, vec![0, 1, 2, 3]);
-    assert!(batch.iter().all(|(_, r)| name(r) == "WriteData"));
+    assert!(batch.iter().all(|(_, _, r)| name(r) == "WriteData"));
+    assert!(drain(&mut d, effects).is_ok());
 }
 
 #[test]
@@ -73,10 +130,10 @@ fn raid1_adds_mirrors_on_next_server() {
     let m = meta(Scheme::Raid1, 4);
     // One block (block 2, home 2, mirror 3).
     let mut d = WriteDriver::new(&m, 2 * UNIT, payload(UNIT as usize));
-    let batch = expect_send(d.begin());
+    let batch = sends(&begin(&mut d));
     assert_eq!(batch.len(), 2);
-    assert_eq!((batch[0].0, name(&batch[0].1)), (2, "WriteData"));
-    assert_eq!((batch[1].0, name(&batch[1].1)), (3, "WriteMirror"));
+    assert_eq!((batch[0].1, name(&batch[0].2)), (2, "WriteData"));
+    assert_eq!((batch[1].1, name(&batch[1].2)), (3, "WriteMirror"));
 }
 
 #[test]
@@ -85,15 +142,19 @@ fn raid5_aligned_write_needs_no_reads_or_locks() {
     let m = meta(Scheme::Raid5, 4);
     let group = 3 * UNIT;
     let mut d = WriteDriver::new(&m, 0, payload(2 * group as usize));
-    let bytes = expect_compute(d.begin());
+    let effects = begin(&mut d);
+    assert!(sends(&effects).is_empty(), "no reads, no locks");
+    let comps = computes(&effects);
+    assert_eq!(comps.len(), 1);
+    let (token, bytes) = comps[0];
     assert_eq!(bytes, 2 * group, "parity fold reads each data byte once");
-    let batch = expect_send(d.on_compute_done());
-    assert!(batch.iter().all(|(_, r)| matches!(name(r), "WriteData" | "WriteParity")));
+    let batch = sends(&d.poll(Completion::ComputeDone { token }));
+    assert!(batch.iter().all(|(_, _, r)| matches!(name(r), "WriteData" | "WriteParity")));
     // Parity of groups 0 and 1 goes to their rotating owners.
     let parity_servers: Vec<ServerId> = batch
         .iter()
-        .filter(|(_, r)| name(r) == "WriteParity")
-        .map(|(s, _)| *s)
+        .filter(|(_, _, r)| name(r) == "WriteParity")
+        .map(|(_, s, _)| *s)
         .collect();
     assert_eq!(parity_servers.len(), 2);
     assert!(parity_servers.contains(&m.layout.parity_server(0)));
@@ -104,42 +165,59 @@ fn raid5_aligned_write_needs_no_reads_or_locks() {
 fn raid5_two_partials_serialize_lock_reads_low_group_first() {
     // §5.1: "the client serializes the reads for the parity blocks,
     // waiting for the read for the lower numbered block to complete
-    // before issuing the read for the second block."
+    // before issuing the read for the second block." Under the
+    // completion-driven driver the gate is the lock *grant*: data reads
+    // complete freely, but the higher group's lock-read is issued only
+    // by the lower grant's completion.
     let m = meta(Scheme::Raid5, 4);
     let group = 3 * UNIT;
     // [group-8, group+8): tail of group 0 + head of group 1, no full part.
     let mut d = WriteDriver::new(&m, group - 8, payload(16));
-    let batch_a = expect_send(d.begin());
+    let initial = begin(&mut d);
+    let batch_a = sends(&initial);
     let locks_a: Vec<u64> = batch_a
         .iter()
-        .filter_map(|(_, r)| match r {
+        .filter_map(|(_, _, r)| match r {
             Request::ParityReadLock { group, .. } => Some(*group),
             _ => None,
         })
         .collect();
-    assert_eq!(locks_a, vec![0], "only the LOWER group's lock in batch A");
-    // Feed replies: one parity read + data reads.
-    let replies: Vec<Response> = batch_a
+    assert_eq!(locks_a, vec![0], "only the LOWER group's lock at Begin");
+
+    // Complete every data read first: still no second lock, and no
+    // compute (both partials are missing their parity).
+    let mut lock0 = None;
+    for (token, _, req) in &batch_a {
+        if matches!(req, Request::ParityReadLock { .. }) {
+            lock0 = Some((*token, req.clone()));
+            continue;
+        }
+        let fx = d.poll(Completion::Reply { token: *token, resp: synth_reply(req) });
+        assert!(sends(&fx).is_empty() && computes(&fx).is_empty() && done(&fx).is_none());
+    }
+    // The lower lock's grant issues the higher lock-read AND — since
+    // group 0's data is already in — group 0's RMW compute, before
+    // group 1's lock is even granted (the pipelining this PR buys).
+    let (t0, lock_req) = lock0.expect("lock read present");
+    let fx = d.poll(Completion::Reply { token: t0, resp: synth_reply(&lock_req) });
+    let locks_b: Vec<u64> = sends(&fx)
         .iter()
-        .map(|(_, r)| match r {
-            Request::ParityReadLock { len, .. } => Response::Data { payload: payload(*len as usize) },
-            Request::ReadData { spans, .. } => {
-                let total: u64 = spans.iter().map(|s| s.len).sum();
-                Response::Data { payload: payload(total as usize) }
-            }
-            other => panic!("unexpected {other:?}"),
-        })
-        .collect();
-    let batch_b = expect_send(d.on_replies(replies));
-    let locks_b: Vec<u64> = batch_b
-        .iter()
-        .filter_map(|(_, r)| match r {
+        .filter_map(|(_, _, r)| match r {
             Request::ParityReadLock { group, .. } => Some(*group),
             _ => None,
         })
         .collect();
-    assert_eq!(locks_b, vec![1], "the HIGHER group's lock strictly after");
-    assert_eq!(batch_b.len(), 1, "batch B is only the second lock read");
+    assert_eq!(locks_b, vec![1], "the HIGHER group's lock strictly after the lower grant");
+    assert_eq!(sends(&fx).len(), 1, "only the second lock read is unblocked");
+    let comps = computes(&fx);
+    assert_eq!(comps.len(), 1, "group 0's RMW proceeds while group 1's lock is in flight");
+
+    // Group 0's compute completion issues its data write + unlock while
+    // the second lock is still outstanding.
+    let fx = d.poll(Completion::ComputeDone { token: comps[0].0 });
+    let kinds: Vec<&str> = sends(&fx).iter().map(|(_, _, r)| name(r)).collect();
+    assert_eq!(kinds, vec!["WriteData", "ParityWriteUnlock"]);
+    assert!(done(&fx).is_none());
 }
 
 #[test]
@@ -147,41 +225,43 @@ fn raid5_nolock_issues_both_parity_reads_together() {
     let m = meta(Scheme::Raid5NoLock, 4);
     let group = 3 * UNIT;
     let mut d = WriteDriver::new(&m, group - 8, payload(16));
-    let batch_a = expect_send(d.begin());
+    let batch_a = sends(&begin(&mut d));
     let reads: Vec<u64> = batch_a
         .iter()
-        .filter_map(|(_, r)| match r {
+        .filter_map(|(_, _, r)| match r {
             Request::ParityRead { group, .. } => Some(*group),
             _ => None,
         })
         .collect();
     assert_eq!(reads, vec![0, 1], "no serialization without locks");
-    assert!(batch_a.iter().all(|(_, r)| name(r) != "ParityReadLock"));
+    assert!(batch_a.iter().all(|(_, _, r)| name(r) != "ParityReadLock"));
 }
 
 #[test]
 fn raid5_unlock_writes_go_out_after_the_data() {
     // The paper's step 3 order ("write out the new data and new
-    // parity"): the unlock-carrying parity write is last in the batch.
+    // parity"): the unlock-carrying parity write is issued last among
+    // the partial's writes.
     let m = meta(Scheme::Raid5, 4);
     let mut d = WriteDriver::new(&m, 4, payload(8)); // partial in group 0
-    let batch_a = expect_send(d.begin());
-    let replies: Vec<Response> = batch_a
-        .iter()
-        .map(|(_, r)| match r {
-            Request::ParityReadLock { len, .. } => Response::Data { payload: payload(*len as usize) },
-            Request::ReadData { spans, .. } => Response::Data {
-                payload: payload(spans.iter().map(|s| s.len).sum::<u64>() as usize),
-            },
-            other => panic!("unexpected {other:?}"),
-        })
-        .collect();
-    expect_compute(d.on_replies(replies));
-    let batch_c = expect_send(d.on_compute_done());
-    let last = name(&batch_c.last().unwrap().1);
-    assert_eq!(last, "ParityWriteUnlock");
-    let first = name(&batch_c.first().unwrap().1);
-    assert_eq!(first, "WriteData");
+    let effects = begin(&mut d);
+    let mut queue: std::collections::VecDeque<Effect> = effects.into();
+    while let Some(e) = queue.pop_front() {
+        match e {
+            Effect::Send { token, req, .. } => {
+                queue.extend(d.poll(Completion::Reply { token, resp: synth_reply(&req) }))
+            }
+            Effect::Compute { token, .. } => {
+                let fx = d.poll(Completion::ComputeDone { token });
+                let kinds: Vec<&str> = sends(&fx).iter().map(|(_, _, r)| name(r)).collect();
+                assert_eq!(kinds.first().copied(), Some("WriteData"));
+                assert_eq!(kinds.last().copied(), Some("ParityWriteUnlock"));
+                return;
+            }
+            Effect::Done(r) => panic!("finished before computing: {r:?}"),
+        }
+    }
+    panic!("driver never computed");
 }
 
 #[test]
@@ -190,10 +270,10 @@ fn raid5_parity_rmw_touches_only_the_needed_range() {
     // bytes at intra 4 — not the whole stripe unit.
     let m = meta(Scheme::Raid5, 4);
     let mut d = WriteDriver::new(&m, 4, payload(4));
-    let batch_a = expect_send(d.begin());
+    let batch_a = sends(&begin(&mut d));
     let (intra, len) = batch_a
         .iter()
-        .find_map(|(_, r)| match r {
+        .find_map(|(_, _, r)| match r {
             Request::ParityReadLock { intra, len, .. } => Some((*intra, *len)),
             _ => None,
         })
@@ -202,17 +282,84 @@ fn raid5_parity_rmw_touches_only_the_needed_range() {
 }
 
 #[test]
+fn full_stripe_writes_overlap_partial_rmw() {
+    // A write covering whole group 0 plus a partial head of group 1:
+    // the whole-group body must not wait for the partial's lock grant —
+    // its parity compute is issued at Begin and its writes go out on
+    // that compute's completion, with the lock-read still outstanding.
+    let m = meta(Scheme::Raid5, 4);
+    let group = 3 * UNIT;
+    let mut d = WriteDriver::new(&m, 0, payload((group + 8) as usize));
+    let effects = begin(&mut d);
+    let lock_count =
+        sends(&effects).iter().filter(|(_, _, r)| name(r) == "ParityReadLock").count();
+    assert_eq!(lock_count, 1, "partial group 1 takes its lock at Begin");
+    let comps = computes(&effects);
+    assert_eq!(comps.len(), 1, "whole-group parity computes at Begin");
+    // Complete ONLY the compute: the body's writes fan out although the
+    // lock grant and the old-data reads are all still in flight.
+    let fx = d.poll(Completion::ComputeDone { token: comps[0].0 });
+    let body = sends(&fx);
+    assert!(!body.is_empty());
+    assert!(body.iter().all(|(_, _, r)| matches!(name(r), "WriteData" | "WriteParity")));
+    assert!(done(&fx).is_none());
+}
+
+#[test]
+fn batch_issue_holds_whole_group_work_behind_the_rmw() {
+    // The barrier-compat issue order (the sim's paper-reproduction
+    // mode): the same mixed write as
+    // `full_stripe_writes_overlap_partial_rmw`, but under
+    // `set_batch_issue` nothing computes at Begin, no write goes out
+    // before every compute has finished, and ONE combined wave then
+    // carries all of them with the parity unlock strictly last — the
+    // retired batch engine's schedule.
+    let m = meta(Scheme::Raid5, 4);
+    let group = 3 * UNIT;
+    let mut d = WriteDriver::new(&m, 0, payload((group + 8) as usize));
+    d.set_batch_issue(true);
+    let effects = begin(&mut d);
+    assert!(computes(&effects).is_empty(), "whole-group compute is deferred");
+    assert!(
+        sends(&effects)
+            .iter()
+            .all(|(_, _, r)| matches!(name(r), "ParityReadLock" | "ReadData")),
+        "Begin issues only the RMW reads"
+    );
+    let mut comps = Vec::new();
+    for (token, _, req) in sends(&effects) {
+        let fx = d.poll(Completion::Reply { token, resp: synth_reply(&req) });
+        assert!(sends(&fx).is_empty(), "no write goes out before the computes finish");
+        comps.extend(computes(&fx));
+    }
+    assert_eq!(comps.len(), 2, "partial RMW compute + whole-group compute");
+    let fx = d.poll(Completion::ComputeDone { token: comps[0].0 });
+    assert!(sends(&fx).is_empty(), "the write wave waits for the LAST compute");
+    let fx = d.poll(Completion::ComputeDone { token: comps[1].0 });
+    let wave = sends(&fx);
+    assert!(wave.iter().any(|(_, _, r)| name(r) == "WriteData"));
+    assert!(wave.iter().any(|(_, _, r)| name(r) == "WriteParity"));
+    assert_eq!(
+        name(&wave.last().expect("combined wave is non-empty").2),
+        "ParityWriteUnlock",
+        "the unlock closes the combined wave"
+    );
+    assert!(done(&fx).is_none());
+    assert!(matches!(drain(&mut d, fx), Ok(OpOutput::Written { .. })));
+}
+
+#[test]
 fn hybrid_partials_go_to_overflow_with_mirror_and_no_reads() {
     let m = meta(Scheme::Hybrid, 4);
     // Partial inside group 0, block 1 (home 1, mirror 2).
     let mut d = WriteDriver::new(&m, UNIT + 2, payload(6));
-    let bytes = expect_compute(d.begin());
-    assert_eq!(bytes, 0, "no parity work for a pure-partial hybrid write");
-    let batch = expect_send(d.on_compute_done());
+    let effects = begin(&mut d);
+    assert!(computes(&effects).is_empty(), "no parity work for a pure-partial hybrid write");
+    let batch = sends(&effects);
     assert_eq!(batch.len(), 2);
     let kinds: Vec<(ServerId, bool)> = batch
         .iter()
-        .map(|(s, r)| match r {
+        .map(|(_, s, r)| match r {
             Request::OverflowWrite { mirror, .. } => (*s, *mirror),
             other => panic!("unexpected {other:?}"),
         })
@@ -226,9 +373,11 @@ fn hybrid_full_groups_invalidate_overflow() {
     let m = meta(Scheme::Hybrid, 4);
     let group = 3 * UNIT;
     let mut d = WriteDriver::new(&m, 0, payload(group as usize));
-    expect_compute(d.begin());
-    let batch = expect_send(d.on_compute_done());
-    for (_, r) in &batch {
+    let effects = begin(&mut d);
+    let comps = computes(&effects);
+    assert_eq!(comps.len(), 1);
+    let batch = sends(&d.poll(Completion::ComputeDone { token: comps[0].0 }));
+    for (_, _, r) in &batch {
         if let Request::WriteData { invalidate_primary, .. } = r {
             assert!(*invalidate_primary, "full-group data writes invalidate overflow");
         }
@@ -236,7 +385,7 @@ fn hybrid_full_groups_invalidate_overflow() {
     // Every mirror-table invalidation rides on some request.
     let inval_count: usize = batch
         .iter()
-        .map(|(_, r)| match r {
+        .map(|(_, _, r)| match r {
             Request::WriteData { invalidate_mirror_spans, .. } => invalidate_mirror_spans.len(),
             Request::WriteParity { invalidate_mirror_spans, .. } => invalidate_mirror_spans.len(),
             _ => 0,
@@ -250,12 +399,14 @@ fn npc_variant_transfers_blank_parity() {
     let m = meta(Scheme::Raid5NoParityCompute, 4);
     let group = 3 * UNIT;
     let mut d = WriteDriver::new(&m, 0, payload(group as usize));
-    let bytes = expect_compute(d.begin());
-    assert_eq!(bytes, 0, "npc skips the XOR");
-    let batch = expect_send(d.on_compute_done());
+    let effects = begin(&mut d);
+    let comps = computes(&effects);
+    assert_eq!(comps.len(), 1);
+    assert_eq!(comps[0].1, 0, "npc skips the XOR");
+    let batch = sends(&d.poll(Completion::ComputeDone { token: comps[0].0 }));
     let parity = batch
         .iter()
-        .find_map(|(_, r)| match r {
+        .find_map(|(_, _, r)| match r {
             Request::WriteParity { parts, .. } => Some(parts[0].payload.clone()),
             _ => None,
         })
@@ -271,15 +422,15 @@ fn npc_variant_transfers_blank_parity() {
 fn degraded_raid0_is_rejected_when_affected() {
     let m = meta(Scheme::Raid0, 4);
     let mut d = WriteDriver::new_degraded(&m, 0, payload(UNIT as usize), Some(0));
-    match d.begin() {
-        Action::Done(Err(CsarError::DataLoss(_))) => {}
+    match done(&begin(&mut d)) {
+        Some(Err(CsarError::DataLoss(_))) => {}
         other => panic!("expected DataLoss, got {other:?}"),
     }
     // Unaffected RAID0 writes still go through.
     let mut d = WriteDriver::new_degraded(&m, UNIT, payload(UNIT as usize), Some(0));
-    let batch = expect_send(d.begin());
+    let batch = sends(&begin(&mut d));
     assert_eq!(batch.len(), 1);
-    assert_eq!(batch[0].0, 1);
+    assert_eq!(batch[0].1, 1);
 }
 
 #[test]
@@ -294,8 +445,8 @@ fn degraded_single_server_raid1_is_rejected() {
         size: 0,
     };
     let mut d = WriteDriver::new_degraded(&m, 0, payload(8), Some(0));
-    match d.begin() {
-        Action::Done(Err(CsarError::DataLoss(_))) => {}
+    match done(&begin(&mut d)) {
+        Some(Err(CsarError::DataLoss(_))) => {}
         other => panic!("expected DataLoss, got {other:?}"),
     }
 }
@@ -305,9 +456,9 @@ fn degraded_raid1_writes_surviving_copy_only() {
     let m = meta(Scheme::Raid1, 4);
     // Block 2: home 2 (failed), mirror 3.
     let mut d = WriteDriver::new_degraded(&m, 2 * UNIT, payload(UNIT as usize), Some(2));
-    let batch = expect_send(d.begin());
+    let batch = sends(&begin(&mut d));
     assert_eq!(batch.len(), 1);
-    assert_eq!((batch[0].0, name(&batch[0].1)), (3, "WriteMirror"));
+    assert_eq!((batch[0].1, name(&batch[0].2)), (3, "WriteMirror"));
 }
 
 #[test]
@@ -315,10 +466,10 @@ fn degraded_hybrid_partial_writes_single_overflow_copy() {
     let m = meta(Scheme::Hybrid, 4);
     // Block 1: home 1, mirror 2. Fail the home → only the mirror copy.
     let mut d = WriteDriver::new_degraded(&m, UNIT + 2, payload(6), Some(1));
-    expect_compute(d.begin());
-    let batch = expect_send(d.on_compute_done());
+    let effects = begin(&mut d);
+    let batch = sends(&effects);
     assert_eq!(batch.len(), 1);
-    match &batch[0] {
+    match (&batch[0].1, &batch[0].2) {
         (2, Request::OverflowWrite { mirror: true, .. }) => {}
         other => panic!("expected mirror-only overflow write, got {other:?}"),
     }
@@ -330,12 +481,14 @@ fn degraded_raid5_dead_parity_writes_data_unprotected() {
     // Partial in group 0 (parity server = 3). Fail server 3.
     assert_eq!(m.layout.parity_server(0), 3);
     let mut d = WriteDriver::new_degraded(&m, 4, payload(8), Some(3));
-    // No reads needed: straight to (empty) compute, then a plain write.
-    expect_compute(d.begin());
-    let batch = expect_send(d.on_compute_done());
+    // No reads, no RMW: a plain in-place write at Begin.
+    let effects = begin(&mut d);
+    assert!(computes(&effects).is_empty());
+    let batch = sends(&effects);
     assert_eq!(batch.len(), 1);
-    assert_eq!(name(&batch[0].1), "WriteData");
-    assert!(batch.iter().all(|(s, _)| *s != 3));
+    assert_eq!(name(&batch[0].2), "WriteData");
+    assert!(batch.iter().all(|(_, s, _)| *s != 3));
+    assert!(drain(&mut d, effects).is_ok());
 }
 
 #[test]
@@ -343,8 +496,8 @@ fn degraded_raid5_dead_data_home_is_rejected() {
     let m = meta(Scheme::Raid5, 4);
     // Partial on block 0 (home 0). Fail server 0.
     let mut d = WriteDriver::new_degraded(&m, 4, payload(8), Some(0));
-    match d.begin() {
-        Action::Done(Err(CsarError::DataLoss(msg))) => {
+    match done(&begin(&mut d)) {
+        Some(Err(CsarError::DataLoss(msg))) => {
             assert!(msg.contains("Hybrid"), "the error should point at the Hybrid scheme");
         }
         other => panic!("expected DataLoss, got {other:?}"),
@@ -357,29 +510,31 @@ fn degraded_full_group_skips_failed_server_but_keeps_parity() {
     let group = 3 * UNIT;
     // Group 0: data on 0,1,2; parity on 3. Fail server 1.
     let mut d = WriteDriver::new_degraded(&m, 0, payload(group as usize), Some(1));
-    expect_compute(d.begin());
-    let batch = expect_send(d.on_compute_done());
-    assert!(batch.iter().all(|(s, _)| *s != 1), "nothing to the failed server");
+    let effects = begin(&mut d);
+    let comps = computes(&effects);
+    assert_eq!(comps.len(), 1);
+    let batch = sends(&d.poll(Completion::ComputeDone { token: comps[0].0 }));
+    assert!(batch.iter().all(|(_, s, _)| *s != 1), "nothing to the failed server");
     assert!(
-        batch.iter().any(|(s, r)| *s == 3 && name(r) == "WriteParity"),
+        batch.iter().any(|(_, s, r)| *s == 3 && name(r) == "WriteParity"),
         "fresh parity implies the dead block's contents"
     );
 }
 
 // ---------------------------------------------------------------------------
-// Read batch shapes
+// Read effect shapes
 // ---------------------------------------------------------------------------
 
 #[test]
 fn hybrid_reads_use_read_latest() {
     let m = meta(Scheme::Hybrid, 4);
     let mut d = ReadDriver::new(&m, 0, 4 * UNIT, None);
-    let batch = expect_send(d.begin());
-    assert!(batch.iter().all(|(_, r)| name(r) == "ReadLatest"));
+    let batch = sends(&begin(&mut d));
+    assert!(batch.iter().all(|(_, _, r)| name(r) == "ReadLatest"));
     let m5 = meta(Scheme::Raid5, 4);
     let mut d5 = ReadDriver::new(&m5, 0, 4 * UNIT, None);
-    let batch5 = expect_send(d5.begin());
-    assert!(batch5.iter().all(|(_, r)| name(r) == "ReadData"));
+    let batch5 = sends(&begin(&mut d5));
+    assert!(batch5.iter().all(|(_, _, r)| name(r) == "ReadData"));
 }
 
 #[test]
@@ -387,10 +542,10 @@ fn degraded_raid5_read_reconstructs_per_lost_span() {
     let m = meta(Scheme::Raid5, 4);
     // Read block 0 (home 0, group 0: blocks 0,1,2, parity on 3); fail 0.
     let mut d = ReadDriver::new(&m, 0, UNIT, Some(0));
-    let batch = expect_send(d.begin());
+    let batch = sends(&begin(&mut d));
     // Two peer reads + one parity read, none to the failed server.
-    assert!(batch.iter().all(|(s, _)| *s != 0));
-    let kinds: Vec<&str> = batch.iter().map(|(_, r)| name(r)).collect();
+    assert!(batch.iter().all(|(_, s, _)| *s != 0));
+    let kinds: Vec<&str> = batch.iter().map(|(_, _, r)| name(r)).collect();
     assert_eq!(kinds.iter().filter(|k| **k == "ReadData").count(), 2);
     assert_eq!(kinds.iter().filter(|k| **k == "ParityRead").count(), 1);
 }
@@ -399,8 +554,8 @@ fn degraded_raid5_read_reconstructs_per_lost_span() {
 fn degraded_hybrid_read_adds_overflow_mirror_fetch() {
     let m = meta(Scheme::Hybrid, 4);
     let mut d = ReadDriver::new(&m, 0, UNIT, Some(0));
-    let batch = expect_send(d.begin());
-    let kinds: Vec<(ServerId, &str)> = batch.iter().map(|(s, r)| (*s, name(r))).collect();
+    let batch = sends(&begin(&mut d));
+    let kinds: Vec<(ServerId, &str)> = batch.iter().map(|(_, s, r)| (*s, name(r))).collect();
     assert!(kinds.contains(&(1, "OverflowFetch")), "mirror overlay from the next server");
 }
 
@@ -408,17 +563,17 @@ fn degraded_hybrid_read_adds_overflow_mirror_fetch() {
 fn degraded_raid1_read_goes_to_mirror() {
     let m = meta(Scheme::Raid1, 4);
     let mut d = ReadDriver::new(&m, 0, UNIT, Some(0));
-    let batch = expect_send(d.begin());
+    let batch = sends(&begin(&mut d));
     assert_eq!(batch.len(), 1);
-    assert_eq!((batch[0].0, name(&batch[0].1)), (1, "ReadMirror"));
+    assert_eq!((batch[0].1, name(&batch[0].2)), (1, "ReadMirror"));
 }
 
 #[test]
 fn degraded_raid0_read_fails_fast() {
     let m = meta(Scheme::Raid0, 4);
     let mut d = ReadDriver::new(&m, 0, UNIT, Some(0));
-    match d.begin() {
-        Action::Done(Err(CsarError::DataLoss(_))) => {}
+    match done(&begin(&mut d)) {
+        Some(Err(CsarError::DataLoss(_))) => {}
         other => panic!("expected DataLoss, got {other:?}"),
     }
 }

@@ -3,7 +3,7 @@
 //! its correct primary location, redundancy must go to the right
 //! servers, and payload contents must survive slicing.
 
-use csar_core::client::{Action, OpDriver, WriteDriver};
+use csar_core::client::{OpDriver, WriteDriver};
 use csar_core::manager::FileMeta;
 use csar_core::proto::{Request, Response, Scheme};
 use csar_core::Layout;
@@ -14,34 +14,24 @@ use csar_store::{Payload, SplitMix64};
 fn collect_requests(meta: &FileMeta, off: u64, data: Vec<u8>) -> Vec<(u32, Request)> {
     let mut driver = WriteDriver::new(meta, off, Payload::from_vec(data));
     let mut all = Vec::new();
-    let mut action = driver.begin();
-    loop {
-        match action {
-            Action::Send(batch) => {
-                let replies: Vec<Response> = batch
-                    .iter()
-                    .map(|(_, r)| match r {
-                        Request::ParityRead { len, .. } | Request::ParityReadLock { len, .. } => {
-                            Response::Data { payload: Payload::zeros(*len as usize) }
-                        }
-                        Request::ReadData { spans, .. } => Response::Data {
-                            payload: Payload::zeros(
-                                spans.iter().map(|s| s.len).sum::<u64>() as usize
-                            ),
-                        },
-                        _ => Response::Done { bytes: 0 },
-                    })
-                    .collect();
-                all.extend(batch);
-                action = driver.on_replies(replies);
+    let send = |_srv: u32, req: Request| {
+        let resp = match &req {
+            Request::ParityRead { len, .. } | Request::ParityReadLock { len, .. } => {
+                Response::Data { payload: Payload::zeros(*len as usize) }
             }
-            Action::Compute { .. } => action = driver.on_compute_done(),
-            Action::Done(r) => {
-                r.expect("write must plan successfully");
-                return all;
-            }
-        }
-    }
+            Request::ReadData { spans, .. } => Response::Data {
+                payload: Payload::zeros(spans.iter().map(|s| s.len).sum::<u64>() as usize),
+            },
+            _ => Response::Done { bytes: 0 },
+        };
+        Ok(resp)
+    };
+    csar_core::client::run_driver(&mut driver, |srv, req| {
+        all.push((srv, req.clone()));
+        send(srv, req)
+    })
+    .expect("write must plan successfully");
+    all
 }
 
 /// The union of primary data placements (in-place WriteData spans +

@@ -12,7 +12,7 @@ use csar_core::client::{run_driver, OpOutput, ReadDriver, WriteDriver};
 use csar_core::manager::FileMeta;
 use csar_core::proto::{Request, Response, Scheme, ServerId};
 use csar_core::recovery::parity_consistent;
-use csar_core::server::{Effect, IoServer, ServerConfig};
+use csar_core::server::{Effect as SrvEffect, IoServer, ServerConfig};
 use csar_core::{CsarError, Layout};
 use csar_store::{Payload, SplitMix64, StreamKind};
 
@@ -33,34 +33,27 @@ impl MiniCluster {
         }
     }
 
-    fn send(&mut self, batch: Vec<(ServerId, Request)>) -> Result<Vec<Response>, CsarError> {
-        let mut replies: Vec<Option<Response>> = vec![None; batch.len()];
-        // Map req_id -> position in the batch.
-        let base = self.next_req;
-        let mut parked: Vec<(usize, u64)> = Vec::new();
-        for (i, (srv, req)) in batch.into_iter().enumerate() {
-            let req_id = self.next_req;
-            self.next_req += 1;
-            if self.down[srv as usize] {
-                replies[i] = Some(Response::Err(CsarError::ServerDown(srv)));
-                continue;
-            }
-            let effects = self.servers[srv as usize].handle(0, req_id, req);
-            if effects.is_empty() {
-                parked.push((i, req_id));
-            }
-            for Effect::Reply { req_id, resp, .. } in effects {
-                let idx = (req_id - base) as usize;
-                replies[idx] = Some(resp);
-            }
+    /// One synchronous request/reply exchange — the per-request send
+    /// function `run_driver` expects.
+    fn exchange(&mut self, srv: ServerId, req: Request) -> Result<Response, CsarError> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        if self.down[srv as usize] {
+            return Ok(Response::Err(CsarError::ServerDown(srv)));
         }
-        assert!(parked.is_empty(), "single-client test should never park: {parked:?}");
-        Ok(replies.into_iter().map(|r| r.expect("missing reply")).collect())
+        let effects = self.servers[srv as usize].handle(0, req_id, req);
+        let mut reply = None;
+        for SrvEffect::Reply { req_id: rid, resp, .. } in effects {
+            assert_eq!(rid, req_id, "single-client exchange got a foreign reply");
+            assert!(reply.is_none(), "single-client exchange got two replies");
+            reply = Some(resp);
+        }
+        Ok(reply.expect("single-client test should never park"))
     }
 
     fn write(&mut self, meta: &FileMeta, off: u64, data: &[u8]) -> Result<u64, CsarError> {
         let mut d = WriteDriver::new(meta, off, Payload::from_vec(data.to_vec()));
-        match run_driver(&mut d, |b| self.send(b))? {
+        match run_driver(&mut d, |srv, req| self.exchange(srv, req))? {
             OpOutput::Written { bytes } => Ok(bytes),
             other => panic!("unexpected {other:?}"),
         }
@@ -69,7 +62,7 @@ impl MiniCluster {
     fn read(&mut self, meta: &FileMeta, off: u64, len: u64) -> Result<Vec<u8>, CsarError> {
         let failed = self.down.iter().position(|d| *d).map(|i| i as u32);
         let mut d = ReadDriver::new(meta, off, len, failed);
-        let out = run_driver(&mut d, |b| self.send(b))?;
+        let out = run_driver(&mut d, |srv, req| self.exchange(srv, req))?;
         Ok(out.into_payload().as_bytes().expect("real data").to_vec())
     }
 
@@ -329,10 +322,13 @@ fn degraded_read_raid0_is_data_loss() {
 
 #[test]
 fn interleaved_rmw_writers_keep_parity_consistent() {
-    // Two "clients" writing disjoint blocks of the SAME group, with their
-    // message batches interleaved at every step — the scenario §5.1's
-    // lock exists for. We interleave manually at the protocol level.
-    use csar_core::client::{Action, OpDriver};
+    // Two clients writing disjoint blocks of the SAME group, with their
+    // effect streams interleaved step by step — the scenario §5.1's lock
+    // exists for. The completion-driven interface lets a parked lock
+    // request stall only its own op: the reply is routed back when the
+    // other client's unlock wakes it.
+    use csar_core::client::{Completion, Effect, OpDriver, Token};
+    use std::collections::{HashMap, VecDeque};
 
     let servers = 6u32;
     let unit = 16u64;
@@ -342,64 +338,64 @@ fn interleaved_rmw_writers_keep_parity_consistent() {
     let base = pattern(2 * 5 * unit as usize, 31);
     c.write(&m, 0, &base).unwrap();
 
-    // Client 1 writes block 0 of group 0; client 2 writes block 2.
+    // Client 0 writes block 0 of group 0; client 1 writes block 2 — both
+    // partial-group RMWs contending for group 0's parity lock.
     let d1 = pattern(unit as usize, 32);
     let d2 = pattern(unit as usize, 33);
     let mut w1 = WriteDriver::new(&m, 0, Payload::from_vec(d1.clone()));
     let mut w2 = WriteDriver::new(&m, 2 * unit, Payload::from_vec(d2.clone()));
+    let drivers: [&mut WriteDriver; 2] = [&mut w1, &mut w2];
 
-    // Interleave: both clients run begin(); the lock serializes them.
-    // We pump messages through the servers by hand.
-    let run = |c: &mut MiniCluster, driver: &mut WriteDriver, action: Action| -> (Action, bool) {
-        match action {
-            Action::Send(batch) => {
-                // Deliver each request; a parked request stalls the batch.
-                let mut replies = Vec::new();
-                let mut stalled = false;
-                for (srv, req) in batch {
+    let mut queues: [VecDeque<Effect>; 2] = [
+        drivers[0].poll(Completion::Begin).into(),
+        drivers[1].poll(Completion::Begin).into(),
+    ];
+    let mut finished = [false, false];
+    // Outstanding requests (parked or in flight): req_id → (client, token).
+    let mut pending: HashMap<u64, (usize, Token)> = HashMap::new();
+    let mut rounds = 0;
+    while !(finished[0] && finished[1]) {
+        rounds += 1;
+        assert!(rounds < 10_000, "interleaved pump deadlocked");
+        let mut progressed = false;
+        // Alternate: one effect per client per round.
+        for i in 0..2 {
+            if finished[i] {
+                continue;
+            }
+            let Some(e) = queues[i].pop_front() else { continue };
+            progressed = true;
+            match e {
+                Effect::Send { token, srv, req } => {
                     let req_id = c.next_req;
                     c.next_req += 1;
-                    let effects = c.servers[srv as usize].handle(0, req_id, req);
-                    if effects.is_empty() {
-                        stalled = true;
-                        continue;
-                    }
-                    for Effect::Reply { resp, .. } in effects {
-                        replies.push(resp);
+                    pending.insert(req_id, (i, token));
+                    // A reply batch may include replies for OTHER parked
+                    // requests (an unlock waking a queued lock-read).
+                    for SrvEffect::Reply { req_id: rid, resp, .. } in
+                        c.servers[srv as usize].handle(i as u32, req_id, req)
+                    {
+                        let (di, tok) = pending.remove(&rid).expect("reply for unknown request");
+                        let more = drivers[di].poll(Completion::Reply { token: tok, resp });
+                        queues[di].extend(more);
                     }
                 }
-                if stalled {
-                    return (Action::Send(vec![]), true);
+                Effect::Compute { token, .. } => {
+                    let more = drivers[i].poll(Completion::ComputeDone { token });
+                    queues[i].extend(more);
                 }
-                (driver.on_replies(replies), false)
+                Effect::Done(r) => {
+                    r.unwrap();
+                    finished[i] = true;
+                }
             }
-            Action::Compute { .. } => (driver.on_compute_done(), false),
-            a => (a, false),
         }
-    };
-    // This hand-rolled interleaving only checks the uncontended ordering:
-    // client 1 completes fully, then client 2. (True concurrency is
-    // exercised in the threaded cluster crate's tests.)
-    let mut a1 = w1.begin();
-    loop {
-        let (next, stalled) = run(&mut c, &mut w1, a1);
-        assert!(!stalled);
-        if let Action::Done(r) = next {
-            r.unwrap();
-            break;
-        }
-        a1 = next;
+        assert!(
+            progressed || pending.values().any(|_| true),
+            "both clients idle with nothing outstanding"
+        );
     }
-    let mut a2 = w2.begin();
-    loop {
-        let (next, stalled) = run(&mut c, &mut w2, a2);
-        assert!(!stalled);
-        if let Action::Done(r) = next {
-            r.unwrap();
-            break;
-        }
-        a2 = next;
-    }
+    assert!(pending.is_empty(), "requests left parked after both ops finished");
 
     let mut want = base.clone();
     want[0..unit as usize].copy_from_slice(&d1);

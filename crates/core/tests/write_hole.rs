@@ -21,10 +21,10 @@
 //!   the partially-written update itself is either fully absent, fully
 //!   present, or recoverable from whichever overflow copy landed.
 
-use csar_core::client::{Action, OpDriver, ReadDriver, WriteDriver};
+use csar_core::client::{Completion, Effect, OpDriver, ReadDriver, WriteDriver};
 use csar_core::manager::FileMeta;
 use csar_core::proto::{Request, Response, Scheme, ServerId};
-use csar_core::server::{Effect, IoServer, ServerConfig};
+use csar_core::server::{Effect as SrvEffect, IoServer, ServerConfig};
 use csar_core::Layout;
 use csar_store::Payload;
 
@@ -49,69 +49,71 @@ impl Cluster {
         self.next += 1;
         let mut effects = self.servers[srv as usize].handle(0, id, req);
         assert_eq!(effects.len(), 1, "single-client requests reply immediately");
-        let Effect::Reply { resp, .. } = effects.pop().unwrap();
+        let SrvEffect::Reply { resp, .. } = effects.pop().unwrap();
         resp
     }
 
     fn write_all(&mut self, meta: &FileMeta, off: u64, data: &[u8]) {
         let mut d = WriteDriver::new(meta, off, Payload::from_vec(data.to_vec()));
-        csar_core::client::run_driver(&mut d, |batch| {
-            Ok(batch.into_iter().map(|(s, r)| self.apply(s, r)).collect())
-        })
-        .unwrap();
+        csar_core::client::run_driver(&mut d, |s, r| Ok(self.apply(s, r))).unwrap();
     }
 
-    /// Run a write but apply only the first `deliver` requests of its
-    /// FINAL batch — the client crashes mid-send. Returns the number of
-    /// requests the final batch had.
+    /// Run a write but deliver only the first `deliver` requests of its
+    /// FINAL effect wave — the client crashes mid-send. Returns the
+    /// number of requests the final wave had. A wave is final when every
+    /// effect in it is a write-class send; the driver's issue-order
+    /// contract makes "apply a prefix" a faithful client crash.
     fn write_crash_after(&mut self, meta: &FileMeta, off: u64, data: &[u8], deliver: usize) -> usize {
         let mut d = WriteDriver::new(meta, off, Payload::from_vec(data.to_vec()));
-        let mut action = d.begin();
+        let mut wave = d.poll(Completion::Begin);
         loop {
-            match action {
-                Action::Send(batch) => {
-                    // Detect the final (write) batch: every request is a
-                    // write-class message.
-                    let is_final = batch.iter().all(|(_, r)| {
-                        matches!(
-                            r,
-                            Request::WriteData { .. }
+            let is_final = !wave.is_empty()
+                && wave.iter().all(|e| {
+                    matches!(
+                        e,
+                        Effect::Send {
+                            req: Request::WriteData { .. }
                                 | Request::WriteParity { .. }
                                 | Request::ParityWriteUnlock { .. }
-                                | Request::OverflowWrite { .. }
-                        )
-                    });
-                    if is_final {
-                        let total = batch.len();
-                        for (s, r) in batch.into_iter().take(deliver) {
-                            self.apply(s, r);
+                                | Request::OverflowWrite { .. },
+                            ..
                         }
-                        return total; // crash: remaining messages lost
-                    }
-                    let replies: Vec<Response> =
-                        batch.into_iter().map(|(s, r)| self.apply(s, r)).collect();
-                    action = d.on_replies(replies);
+                    )
+                });
+            if is_final {
+                let total = wave.len();
+                for e in wave.into_iter().take(deliver) {
+                    let Effect::Send { srv, req, .. } = e else { unreachable!() };
+                    self.apply(srv, req);
                 }
-                Action::Compute { .. } => action = d.on_compute_done(),
-                Action::Done(r) => {
-                    r.unwrap();
-                    panic!("write completed; expected to crash in the final batch");
+                return total; // crash: remaining messages lost
+            }
+            let mut next = Vec::new();
+            for e in wave {
+                match e {
+                    Effect::Send { token, srv, req } => {
+                        let resp = self.apply(srv, req);
+                        next.extend(d.poll(Completion::Reply { token, resp }));
+                    }
+                    Effect::Compute { token, .. } => {
+                        next.extend(d.poll(Completion::ComputeDone { token }));
+                    }
+                    Effect::Done(r) => {
+                        r.unwrap();
+                        panic!("write completed; expected to crash in the final wave");
+                    }
                 }
             }
+            wave = next;
         }
     }
 
     /// Degraded read with `failed` masked out, via the real read driver.
     fn degraded_read(&mut self, meta: &FileMeta, off: u64, len: u64, failed: ServerId) -> Vec<u8> {
         let mut d = ReadDriver::new(meta, off, len, Some(failed));
-        let out = csar_core::client::run_driver(&mut d, |batch| {
-            Ok(batch
-                .into_iter()
-                .map(|(s, r)| {
-                    assert_ne!(s, failed, "degraded read must avoid the failed server");
-                    self.apply(s, r)
-                })
-                .collect())
+        let out = csar_core::client::run_driver(&mut d, |s, r| {
+            assert_ne!(s, failed, "degraded read must avoid the failed server");
+            Ok(self.apply(s, r))
         })
         .unwrap();
         out.into_payload().as_bytes().unwrap().to_vec()

@@ -5,10 +5,10 @@ use crate::disk::DiskModel;
 use crate::engine::EventQueue;
 use crate::resource::FifoResource;
 use crate::{mb_per_sec, transfer_ns};
-use csar_core::client::{Action, OpDriver, ReadDriver, WriteDriver};
+use csar_core::client::{Completion, Effect, OpDriver, ReadDriver, Token, WriteDriver};
 use csar_core::manager::FileMeta;
 use csar_core::proto::{Request, Response, Scheme};
-use csar_core::server::{Effect, IoServer, ServerConfig};
+use csar_core::server::{Effect as SrvEffect, IoServer, ServerConfig};
 use csar_core::Layout;
 use csar_store::Payload;
 use std::collections::{HashMap, VecDeque};
@@ -39,6 +39,18 @@ pub struct RunStats {
     pub bytes_written: u64,
     /// Logical bytes read by completed ops.
     pub bytes_read: u64,
+    /// Operations completed in the phase.
+    pub ops: u64,
+    /// Protocol requests transmitted.
+    pub requests: u64,
+    /// Highest in-flight request count any single op reached.
+    pub max_in_flight: u64,
+    /// Sum over ops of time-to-first-reply (queueing sensitivity probe).
+    pub ttfb_ns: u64,
+    /// Time fully-received replies waited before delivery to the driver:
+    /// ≈0 under pipelined delivery, the batch-barrier cost under
+    /// [`SimCluster::set_barrier_mode`].
+    pub stall_ns: u64,
 }
 
 impl RunStats {
@@ -72,15 +84,26 @@ struct NodeRes {
     cpu_out: FifoResource,
 }
 
-struct Batch {
-    slots: Vec<Option<Response>>,
-    waiting: HashMap<u64, usize>,
+/// Per-operation completion-delivery trace.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpTrace {
+    started: u64,
+    first_reply: Option<u64>,
+    requests: u64,
+    in_flight: u64,
+    max_in_flight: u64,
+    stall_ns: u64,
 }
 
 struct ClientState {
     res: NodeRes,
     driver: Option<Box<dyn OpDriver>>,
-    batch: Option<Batch>,
+    /// Outstanding requests: req_id → the driver's completion token.
+    pending: HashMap<u64, Token>,
+    /// Barrier-compat mode only: fully-ingested replies held back until
+    /// the whole in-flight wave has arrived (ingest time, token, reply).
+    held: Vec<(u64, Token, Response)>,
+    trace: OpTrace,
     script: VecDeque<Op>,
     active: bool,
     /// Serialized client-side overhead charged before each op (the
@@ -101,7 +124,7 @@ enum Ev {
     /// A reply has been ingested by the client (CPU copy charged).
     ClientDeliver { c: usize, req_id: u64, resp: Response },
     /// The client's XOR compute finished.
-    ComputeDone(usize),
+    ComputeDone { c: usize, token: Token },
 }
 
 /// A simulated CSAR cluster.
@@ -131,10 +154,21 @@ pub struct SimCluster {
     next_req: u64,
     /// Fail-stopped server (reads run degraded around it).
     failed: Option<u32>,
+    /// Extra per-request service delay per server (straggler modelling).
+    slowdown_ns: Vec<u64>,
+    /// Barrier-compat delivery: hold every reply until the op's whole
+    /// in-flight wave has arrived, then deliver sequentially — the old
+    /// batch-synchronous engine, kept for old-vs-new benchmarking.
+    barrier: bool,
     // Phase accounting.
     active_clients: usize,
     bytes_written: u64,
     bytes_read: u64,
+    ops: u64,
+    requests: u64,
+    max_in_flight: u64,
+    ttfb_ns: u64,
+    stall_ns: u64,
 }
 
 impl SimCluster {
@@ -164,7 +198,9 @@ impl SimCluster {
                 .map(|_| ClientState {
                     res: NodeRes::default(),
                     driver: None,
-                    batch: None,
+                    pending: HashMap::new(),
+                    held: Vec::new(),
+                    trace: OpTrace::default(),
                     script: VecDeque::new(),
                     active: false,
                     op_overhead_ns: 0,
@@ -175,9 +211,16 @@ impl SimCluster {
             now: 0,
             next_req: 0,
             failed: None,
+            slowdown_ns: vec![0; servers as usize],
+            barrier: false,
             active_clients: 0,
             bytes_written: 0,
             bytes_read: 0,
+            ops: 0,
+            requests: 0,
+            max_in_flight: 0,
+            ttfb_ns: 0,
+            stall_ns: 0,
         }
     }
 
@@ -230,6 +273,27 @@ impl SimCluster {
     /// Bring the failed server back (contents intact).
     pub fn restore_server(&mut self) {
         self.failed = None;
+    }
+
+    /// Add a fixed service delay to every request handled by server
+    /// `id` — a straggler node. The pipelined engine overlaps the wait
+    /// with other servers' work; the barrier engine stalls on it.
+    pub fn set_server_slowdown(&mut self, id: u32, extra_ns: u64) {
+        self.slowdown_ns[id as usize] = extra_ns;
+    }
+
+    /// Switch between pipelined (default, `false`) and barrier-compat
+    /// (`true`) operation. Barrier-compat reproduces the retired
+    /// batch-synchronous engine on both sides of the exchange: every
+    /// reply is held until the op's whole in-flight wave has arrived
+    /// (the held time is charged to `stall_ns`), and write drivers are
+    /// put in batch issue order ([`WriteDriver::set_batch_issue`]) so
+    /// whole-group writes ride behind the RMW read chain and parity
+    /// unlocks close the combined write wave. The paper-reproduction
+    /// harness pins this on — the paper's PVFS client was
+    /// batch-synchronous — while comparison runs toggle it.
+    pub fn set_barrier_mode(&mut self, barrier: bool) {
+        self.barrier = barrier;
     }
 
     /// Set the per-op client overhead charged to every client's CPU at
@@ -288,6 +352,11 @@ impl SimCluster {
         self.bytes_written = 0;
         self.bytes_read = 0;
         self.active_clients = 0;
+        self.ops = 0;
+        self.requests = 0;
+        self.max_in_flight = 0;
+        self.ttfb_ns = 0;
+        self.stall_ns = 0;
         for (c, ops) in phase {
             assert!(c < self.clients.len(), "client {c} out of range");
             if ops.is_empty() {
@@ -319,6 +388,11 @@ impl SimCluster {
             flushed_duration_ns: flush - start,
             bytes_written: self.bytes_written,
             bytes_read: self.bytes_read,
+            ops: self.ops,
+            requests: self.requests,
+            max_in_flight: self.max_in_flight,
+            ttfb_ns: self.ttfb_ns,
+            stall_ns: self.stall_ns,
         }
     }
 
@@ -347,32 +421,51 @@ impl SimCluster {
                     .max(fully_arrived);
                 self.queue.push(t, Ev::ClientDeliver { c, req_id, resp });
             }
-            Ev::ClientDeliver { c, req_id, resp } => {
-                let finished = {
-                    let st = &mut self.clients[c];
-                    let batch = st.batch.as_mut().expect("reply without batch");
-                    let slot = batch.waiting.remove(&req_id).expect("unexpected reply");
-                    batch.slots[slot] = Some(resp);
-                    batch.waiting.is_empty()
-                };
-                if finished {
-                    let batch = self.clients[c].batch.take().expect("batch vanished");
-                    let replies: Vec<Response> =
-                        batch.slots.into_iter().map(|s| s.expect("reply slot empty")).collect();
-                    let action = {
-                        let driver = self.clients[c].driver.as_mut().expect("no driver");
-                        driver.on_replies(replies)
-                    };
-                    self.act(c, action);
-                }
-            }
-            Ev::ComputeDone(c) => {
-                let action = {
+            Ev::ClientDeliver { c, req_id, resp } => self.deliver(c, req_id, resp),
+            Ev::ComputeDone { c, token } => {
+                let effects = {
                     let driver = self.clients[c].driver.as_mut().expect("no driver");
-                    driver.on_compute_done()
+                    driver.poll(Completion::ComputeDone { token })
                 };
-                self.act(c, action);
+                self.act(c, effects);
             }
+        }
+    }
+
+    /// A fully-ingested reply reaches the client. Pipelined mode polls
+    /// the driver immediately; barrier-compat mode holds it until the
+    /// whole in-flight wave has arrived (the retired engine's behavior),
+    /// charging the held time to `stall_ns`.
+    fn deliver(&mut self, c: usize, req_id: u64, resp: Response) {
+        let token = {
+            let st = &mut self.clients[c];
+            let token = st.pending.remove(&req_id).expect("unexpected reply");
+            st.trace.in_flight -= 1;
+            if st.trace.first_reply.is_none() {
+                st.trace.first_reply = Some(self.now);
+            }
+            token
+        };
+        if !self.barrier {
+            let effects = {
+                let driver = self.clients[c].driver.as_mut().expect("no driver");
+                driver.poll(Completion::Reply { token, resp })
+            };
+            self.act(c, effects);
+            return;
+        }
+        self.clients[c].held.push((self.now, token, resp));
+        if self.clients[c].trace.in_flight > 0 {
+            return; // wave still in flight; keep holding
+        }
+        let held = std::mem::take(&mut self.clients[c].held);
+        for (arrived, token, resp) in held {
+            self.clients[c].trace.stall_ns += self.now - arrived;
+            let effects = {
+                let driver = self.clients[c].driver.as_mut().expect("no driver");
+                driver.poll(Completion::Reply { token, resp })
+            };
+            self.act(c, effects);
         }
     }
 
@@ -398,44 +491,50 @@ impl SimCluster {
                     m.size = m.size.max(off + len);
                     m.clone()
                 };
-                Box::new(WriteDriver::new(&meta, off, Payload::Phantom(len)))
+                let mut wd = WriteDriver::new(&meta, off, Payload::Phantom(len));
+                // Barrier-compat reproduces the retired batch engine:
+                // besides holding reply delivery (see `deliver`), the
+                // driver must also keep the batch issue ORDER — whole-
+                // group writes ride behind the RMW reads instead of
+                // fanning out at Begin. Without this the bulk writes
+                // overlap the uncached pre-read wave and the overwrite
+                // RMW stall the paper measured disappears.
+                if self.barrier {
+                    wd.set_batch_issue(true);
+                }
+                Box::new(wd)
             }
             Op::Read { file, off, len } => {
                 assert!(len > 0, "zero-length read in script");
                 Box::new(ReadDriver::new(&self.files[file], off, len, self.failed))
             }
         };
-        let action = driver.begin();
+        let effects = driver.poll(Completion::Begin);
         self.clients[c].driver = Some(driver);
+        self.clients[c].trace = OpTrace { started: self.now, ..OpTrace::default() };
         // Account logical bytes on op start; completion is what gates the
         // phase end.
         match op {
             Op::Write { len, .. } => self.bytes_written += len,
             Op::Read { len, .. } => self.bytes_read += len,
         }
-        self.act(c, action);
+        self.act(c, effects);
     }
 
-    fn act(&mut self, c: usize, action: Action) {
-        match action {
-            Action::Send(batch) => {
-                if batch.is_empty() {
-                    let next = {
-                        let driver = self.clients[c].driver.as_mut().expect("no driver");
-                        driver.on_replies(Vec::new())
-                    };
-                    self.act(c, next);
-                    return;
-                }
-                let p = self.profile;
-                let n = batch.len();
-                let mut slots = Vec::with_capacity(n);
-                slots.resize_with(n, || None);
-                let mut waiting = HashMap::with_capacity(n);
-                for (i, (srv, req)) in batch.into_iter().enumerate() {
+    /// Issue a driver's effects in order: transmit sends, charge XOR
+    /// time, finish the op on `Done`.
+    fn act(&mut self, c: usize, effects: Vec<Effect>) {
+        let p = self.profile;
+        for e in effects {
+            match e {
+                Effect::Send { token, srv, req } => {
                     let req_id = self.next_req;
                     self.next_req += 1;
-                    waiting.insert(req_id, i);
+                    self.clients[c].pending.insert(req_id, token);
+                    let tr = &mut self.clients[c].trace;
+                    tr.requests += 1;
+                    tr.in_flight += 1;
+                    tr.max_in_flight = tr.max_in_flight.max(tr.in_flight);
                     let size = req.wire_size();
                     let t0 = self.clients[c].res.cpu.acquire(
                         self.now,
@@ -452,19 +551,26 @@ impl SimCluster {
                         Ev::ServerArrive { s: srv as usize, from: c as u32, req_id, req, fully_arrived },
                     );
                 }
-                self.clients[c].batch = Some(Batch { slots, waiting });
-            }
-            Action::Compute { bytes } => {
-                let t = self.clients[c]
-                    .res
-                    .cpu
-                    .acquire(self.now, transfer_ns(bytes, self.profile.xor_bw));
-                self.queue.push(t, Ev::ComputeDone(c));
-            }
-            Action::Done(result) => {
-                result.expect("simulated op failed");
-                self.clients[c].driver = None;
-                self.queue.push(self.now, Ev::ClientNext(c));
+                Effect::Compute { token, bytes } => {
+                    let t = self.clients[c]
+                        .res
+                        .cpu
+                        .acquire(self.now, transfer_ns(bytes, self.profile.xor_bw));
+                    self.queue.push(t, Ev::ComputeDone { c, token });
+                }
+                Effect::Done(result) => {
+                    result.expect("simulated op failed");
+                    let st = &mut self.clients[c];
+                    st.driver = None;
+                    debug_assert!(st.pending.is_empty(), "op finished with requests in flight");
+                    let tr = st.trace;
+                    self.ops += 1;
+                    self.requests += tr.requests;
+                    self.max_in_flight = self.max_in_flight.max(tr.max_in_flight);
+                    self.ttfb_ns += tr.first_reply.map_or(0, |t| t - tr.started);
+                    self.stall_ns += tr.stall_ns;
+                    self.queue.push(self.now, Ev::ClientNext(c));
+                }
             }
         }
     }
@@ -491,9 +597,9 @@ impl SimCluster {
                 .max(fully_arrived + p.server_per_msg_ns)
         } else {
             fully_arrived + p.server_per_msg_ns
-        };
+        } + self.slowdown_ns[s];
         let effects = self.servers[s].handle(from, req_id, req);
-        for Effect::Reply { to, req_id, resp, cost } in effects {
+        for SrvEffect::Reply { to, req_id, resp, cost } in effects {
             // Disk activity: synchronous pre-reads first, then buffered
             // writes (possibly throttled by the dirty limit).
             let t2 = if cost.disk_read_bytes > 0 || cost.disk_read_ops > 0 {

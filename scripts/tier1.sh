@@ -7,5 +7,11 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# The analysis passes cover the PR 2 modules too: lint's
+# no-unwrap-request-path now includes crates/cluster/src/client.rs, and
+# check's suite exercises the pipelined parity-lock scenarios.
 cargo run -q -p csar-analysis -- lint
 cargo run -q -p csar-analysis -- check
+# Perf trajectory: regenerate the barrier-vs-pipelined ablation so
+# BENCH_pipeline.json tracks the completion-driven engine from PR 2 on.
+cargo run -q --release -p csar-bench --bin figures -- --bench-json BENCH_pipeline.json
