@@ -1,9 +1,11 @@
 //! `analysis.toml` — per-rule allowlists for the lint pass.
 //!
 //! A deliberately tiny TOML subset, read without external crates:
-//! `[lint.<rule>]` section headers and single-line string arrays
-//! (`allow = ["path", "path:line"]`). Anything else in the file is
-//! rejected loudly so typos cannot silently disable a rule.
+//! `[lint.<rule>]` section headers and string arrays
+//! (`allow = ["path", "path:line"]`, on one line or spread over
+//! several with one entry per line and a closing `]`). Anything else
+//! in the file is rejected loudly so typos cannot silently disable a
+//! rule.
 
 use std::collections::HashMap;
 
@@ -18,7 +20,8 @@ impl Config {
     pub fn parse(text: &str) -> Result<Config, String> {
         let mut cfg = Config::default();
         let mut section: Option<String> = None;
-        for (idx, raw) in text.lines().enumerate() {
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
             let line = raw.trim();
             let lineno = idx + 1;
             if line.is_empty() || line.starts_with('#') {
@@ -41,7 +44,25 @@ impl Config {
             let Some(rule) = &section else {
                 return Err(format!("line {lineno}: `allow` outside a [lint.<rule>] section"));
             };
-            let entries = parse_string_array(value.trim())
+            // A `[` with no closing `]` on the same line opens a
+            // multi-line array: gather until the closing bracket.
+            let mut value = value.trim().to_string();
+            if value.starts_with('[') && !value.ends_with(']') {
+                loop {
+                    let Some((_, cont)) = lines.next() else {
+                        return Err(format!("line {lineno}: unterminated `[` array"));
+                    };
+                    let cont = cont.trim();
+                    if cont.starts_with('#') {
+                        continue;
+                    }
+                    value.push_str(cont);
+                    if cont.ends_with(']') {
+                        break;
+                    }
+                }
+            }
+            let entries = parse_string_array(&value)
                 .map_err(|e| format!("line {lineno}: {e}"))?;
             cfg.allow.get_mut(rule).expect("section registered").extend(entries);
         }
@@ -58,14 +79,14 @@ impl Config {
     }
 }
 
-/// Parse `["a", "b"]` (single line, double-quoted, no escapes needed for
-/// the path-like entries this file holds).
+/// Parse `["a", "b"]` (double-quoted, trailing comma tolerated, no
+/// escapes needed for the path-like entries this file holds).
 fn parse_string_array(s: &str) -> Result<Vec<String>, String> {
     let inner = s
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
         .ok_or_else(|| format!("expected a [\"...\"] array, got `{s}`"))?;
-    let inner = inner.trim();
+    let inner = inner.trim().trim_end_matches(',');
     if inner.is_empty() {
         return Ok(Vec::new());
     }
@@ -95,6 +116,17 @@ mod tests {
         assert!(cfg.is_allowed("unsafe-safety", "c.rs", 7));
         assert!(!cfg.is_allowed("unsafe-safety", "c.rs", 8));
         assert!(!cfg.is_allowed("todo", "a/b.rs", 1));
+    }
+
+    #[test]
+    fn parses_multiline_arrays_with_trailing_comma() {
+        let cfg = Config::parse(
+            "[lint.no-alloc-request-path]\nallow = [\n    \"a.rs:3\",\n    # why: cold\n    \"b.rs\",\n]\n",
+        )
+        .unwrap();
+        assert!(cfg.is_allowed("no-alloc-request-path", "a.rs", 3));
+        assert!(cfg.is_allowed("no-alloc-request-path", "b.rs", 42));
+        assert!(Config::parse("[lint.x]\nallow = [\n\"a\",\n").is_err(), "unterminated array");
     }
 
     #[test]

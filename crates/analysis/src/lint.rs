@@ -11,6 +11,12 @@
 //!   `crates/core/src/client/*`), outside `#[cfg(test)]` regions: a
 //!   malformed or reordered message must surface as a protocol error,
 //!   never a server/client panic.
+//! * **`no-alloc-request-path`** — no `.to_vec()` / `Bytes::from(` /
+//!   `Vec::new(` in those same request paths: the byte pipeline is
+//!   zero-allocation in steady state (in-place folds, gather payloads,
+//!   pooled scratch), so a fresh buffer on the request path is either a
+//!   regression or a legitimately cold path that belongs in the
+//!   `analysis.toml` allowlist with a reason.
 //! * **`lock-order-ascending`** — any client file issuing
 //!   `Request::ParityReadLock` (the §5.1 parity-lock acquisition) must
 //!   carry the ascending-group-order guard
@@ -318,6 +324,24 @@ fn lint_file(rel: &str, text: &str, cfg: &Config, report: &mut LintReport) {
                         lineno,
                         format!(
                             "`{needle}` in a request path; surface a protocol error instead of panicking"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // no-alloc-request-path: steady-state requests must reuse
+        // buffers (in-place folds, gather payloads, pooled scratch);
+        // genuinely cold allocation sites go in the allowlist.
+        if in_request_path(rel) && !in_test[idx] {
+            for needle in [".to_vec()", "Bytes::from(", "Vec::new("] {
+                if code.contains(needle) {
+                    push(
+                        "no-alloc-request-path",
+                        lineno,
+                        format!(
+                            "`{needle}` allocates on a request path; fold in place / gather / pool, \
+                             or allowlist the cold path in analysis.toml"
                         ),
                     );
                 }

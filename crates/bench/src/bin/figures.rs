@@ -89,6 +89,17 @@ fn main() {
     if which.is_empty() && bench_json_path.is_none() {
         which.push("all".into());
     }
+    // Optional kernel tuning override (repo-root parity.toml): applied
+    // before any parity work runs. Absent file = defaults; a malformed
+    // file is a hard error, never a silent fallback.
+    match csar_parity::tuning::load_file("parity.toml") {
+        Ok(true) => println!("applied parity.toml (parallel_threshold = {})", csar_parity::parallel_threshold()),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("error: parity.toml: {e}");
+            std::process::exit(2);
+        }
+    }
     let opts = FigOpts { scale };
     let all = which.iter().any(|w| w == "all");
     let wants = |name: &str| all || which.iter().any(|w| w == name);
@@ -124,7 +135,11 @@ fn main() {
         extensions(&opts);
     }
     if let Some(path) = bench_json_path {
-        bench_pipeline(&path);
+        if path.contains("datapath") {
+            bench_datapath(&path, scale);
+        } else {
+            bench_pipeline(&path);
+        }
     }
     if let Some(path) = json_path {
         let doc = JSON_OUT.with(|m| Json::Obj(m.borrow().clone()));
@@ -193,6 +208,101 @@ fn bench_pipeline(path: &str) {
         std::process::exit(1);
     });
     println!("\nwrote pipelining ablation to {path}");
+}
+
+/// The PR 3 zero-allocation datapath ablation: kernel ladder GB/s,
+/// allocations per whole-group parity computation, and copying-fold vs
+/// in-place-fold wall-clock on the simulator, dumped as
+/// machine-readable JSON (`BENCH_datapath.json`).
+fn bench_datapath(path: &str, scale: f64) {
+    use csar_bench::datapath;
+
+    header("XOR kernel ladder (1 MiB blocks, this host)");
+    let passes = ((64.0 * scale).ceil() as usize).max(4);
+    let rungs = datapath::kernel_ladder(1 << 20, passes);
+    println!("{:>10} {:>12} {:>10}", "kernel", "block", "GB/s");
+    for r in &rungs {
+        println!("{:>10} {:>12} {:>10.2}", r.kernel, r.block, r.gbps);
+    }
+
+    header("Heap allocations per whole-group parity computation");
+    let audit = datapath::whole_group_alloc_audit(5, 64 * 1024, 256);
+    println!(
+        "width {} x {} KiB, {} groups: warmup {} allocs, steady {} allocs ({:.4}/group)",
+        audit.width,
+        audit.unit >> 10,
+        audit.groups,
+        audit.warmup_allocs,
+        audit.steady_allocs,
+        audit.steady_per_group()
+    );
+
+    header("Copying vs in-place parity fold (sim wall-clock, real payloads)");
+    let grid = datapath::compare_all(scale);
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12} {:>8}",
+        "scheme", "copying ns", "in-place ns", "copy MB/s", "inpl MB/s", "speedup"
+    );
+    let cases: Vec<Json> = grid
+        .iter()
+        .map(|c| {
+            println!(
+                "{:>8} {:>14} {:>14} {:>12.1} {:>12.1} {:>7.2}x",
+                c.scheme.label(),
+                c.copying.wall_ns,
+                c.inplace.wall_ns,
+                c.copying.wall_write_mbps(),
+                c.inplace.wall_write_mbps(),
+                c.speedup(),
+            );
+            Json::obj([
+                ("case", Json::from(c.case)),
+                ("scheme", Json::from(c.scheme.label())),
+                ("copying_wall_ns", Json::from(c.copying.wall_ns)),
+                ("inplace_wall_ns", Json::from(c.inplace.wall_ns)),
+                ("copying_wall_mbps", Json::from(c.copying.wall_write_mbps())),
+                ("inplace_wall_mbps", Json::from(c.inplace.wall_write_mbps())),
+                ("bytes_written", Json::from(c.inplace.virt.bytes_written)),
+                ("virtual_ns", Json::from(c.inplace.virt.duration_ns)),
+                ("speedup", Json::from(c.speedup())),
+            ])
+        })
+        .collect();
+    let body = Json::obj([
+        ("parallel_threshold", Json::from(csar_parity::parallel_threshold() as u64)),
+        (
+            "kernels",
+            Json::Arr(
+                rungs
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("kernel", Json::from(r.kernel)),
+                            ("block", Json::from(r.block as u64)),
+                            ("gbps", Json::from(r.gbps)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "alloc_audit",
+            Json::obj([
+                ("width", Json::from(audit.width as u64)),
+                ("unit", Json::from(audit.unit as u64)),
+                ("groups", Json::from(audit.groups)),
+                ("warmup_allocs", Json::from(audit.warmup_allocs)),
+                ("steady_allocs", Json::from(audit.steady_allocs)),
+            ]),
+        ),
+        ("cases", Json::Arr(cases)),
+    ])
+    .to_pretty();
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote datapath ablation to {path}");
 }
 
 fn header(title: &str) {

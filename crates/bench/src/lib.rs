@@ -11,7 +11,9 @@
 //! can assert the paper's *shapes* (orderings, ratios, crossovers)
 //! mechanically, and the binary can print the same rows the paper plots.
 
+pub mod alloc_count;
 pub mod crit;
+pub mod datapath;
 pub mod extensions;
 pub mod figures;
 pub mod harness;

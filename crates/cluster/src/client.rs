@@ -506,8 +506,21 @@ impl File {
     }
 
     /// Write `data` at `off`.
+    ///
+    /// Copies the borrowed slice once into an owned payload; callers
+    /// that already hold owned buffers should use
+    /// [`File::write_vectored`] or [`File::write_payload`], which don't.
     pub fn write_at(&self, off: u64, data: &[u8]) -> Result<u64, CsarError> {
         self.write_payload(off, Payload::from_vec(data.to_vec()))
+    }
+
+    /// Write a sequence of owned chunks at `off` without flattening:
+    /// the chunks travel through the write driver, parity compute and
+    /// server stores as one gathered payload, never copied into a
+    /// contiguous staging buffer.
+    pub fn write_vectored(&self, off: u64, chunks: &[csar_store::Bytes]) -> Result<u64, CsarError> {
+        let parts: Vec<Payload> = chunks.iter().map(|c| Payload::Data(c.clone())).collect();
+        self.write_payload(off, Payload::concat(&parts))
     }
 
     /// Write a [`Payload`] at `off` (phantom payloads keep accounting
@@ -542,12 +555,10 @@ impl File {
     /// Read `len` bytes at `off`. Falls back to a degraded read when a
     /// server is failed; zero-fills unwritten ranges.
     pub fn read_at(&self, off: u64, len: u64) -> Result<Vec<u8>, CsarError> {
-        match self.read_payload(off, len)? {
-            Payload::Data(b) => Ok(b.to_vec()),
-            Payload::Phantom(_) => Err(CsarError::Protocol(
-                "file contains phantom data; use read_payload".into(),
-            )),
-        }
+        let p = self.read_payload(off, len)?;
+        p.to_flat_vec().ok_or_else(|| {
+            CsarError::Protocol("file contains phantom data; use read_payload".into())
+        })
     }
 
     /// Read `len` bytes at `off` as a [`Payload`].

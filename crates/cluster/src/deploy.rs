@@ -9,7 +9,7 @@ use csar_core::recovery::RebuildPlan;
 use csar_core::manager::Manager;
 use csar_core::server::{IoServer, ServerConfig, ServerImage};
 use csar_core::{CsarError, Span};
-use csar_parity::parity_of;
+use csar_parity::ParityAccumulator;
 use csar_store::{FromJson, Json, Payload, ToJson};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc::{channel, Sender};
@@ -268,10 +268,10 @@ impl Cluster {
                                 Request::ReadData { hdr, spans: vec![ospan] },
                             )?
                             .into_payload()?;
-                        acc = Some(match acc {
-                            None => p,
-                            Some(a) => a.xor(&p),
-                        });
+                        match acc.as_mut() {
+                            None => acc = Some(p),
+                            Some(a) => a.xor_assign(&p),
+                        }
                     }
                     let parity = h
                         .send_one(
@@ -281,7 +281,10 @@ impl Cluster {
                         .into_payload()?;
                     match acc {
                         None => parity,
-                        Some(a) => a.xor(&parity),
+                        Some(mut a) => {
+                            a.xor_assign(&parity);
+                            a
+                        }
                     }
                 }
             };
@@ -309,28 +312,31 @@ impl Cluster {
         }
 
         // --- lost parity blocks ----------------------------------------------
+        let mut acc = ParityAccumulator::new(unit as usize);
         for &g in &plan.parity_groups {
-            let mut blocks: Vec<Vec<u8>> = Vec::new();
+            // Stream each surviving block's chunks straight into the
+            // reusable accumulator — no per-block flattening copies.
+            acc.reset_to(unit as usize);
             let mut phantom = false;
-            let mut payloads: Vec<Payload> = Vec::new();
             for b in ly.group_blocks(g) {
                 let span = Span { logical_off: b * unit, len: unit };
                 let p = h
                     .send_one(ly.home_server(b), Request::ReadData { hdr, spans: vec![span] })?
                     .into_payload()?;
-                if p.as_bytes().is_none() {
+                if !p.is_data() {
                     phantom = true;
+                    continue;
                 }
-                payloads.push(p);
+                let mut off = 0usize;
+                for c in p.chunks() {
+                    acc.fold_at(off, c);
+                    off += c.len();
+                }
             }
             let parity = if phantom {
                 Payload::Phantom(unit)
             } else {
-                for p in &payloads {
-                    blocks.push(p.as_bytes().expect("checked").to_vec());
-                }
-                let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
-                Payload::from_vec(parity_of(&refs))
+                Payload::from_vec(acc.current().to_vec())
             };
             h.send_one(
                 failed,

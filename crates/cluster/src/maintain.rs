@@ -19,7 +19,7 @@
 use crate::deploy::Cluster;
 use csar_core::proto::Scheme;
 use csar_core::CsarError;
-use csar_parity::parity_of;
+use csar_parity::ParityAccumulator;
 use csar_store::StreamKind;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -195,19 +195,25 @@ impl Cluster {
                 }
                 s if s.uses_parity() => {
                     let groups = meta.size.div_ceil(ly.group_width_bytes());
+                    // One reusable accumulator for the whole file: fold
+                    // each block's chunks in place instead of copying
+                    // every group member into a fresh Vec.
+                    let mut acc = ParityAccumulator::new(unit as usize);
                     for g in 0..groups {
-                        let mut blocks: Vec<Vec<u8>> = Vec::new();
+                        acc.reset_to(unit as usize);
                         let mut ok = true;
                         for b in ly.group_blocks(g) {
                             let p = self.with_server(ly.home_server(b), |srv| {
                                 srv.store().read(meta.fh, StreamKind::Data, ly.data_local_off(b, 0), unit)
                             });
-                            match p.as_bytes() {
-                                Some(bytes) => blocks.push(bytes.to_vec()),
-                                None => {
-                                    ok = false; // phantom data: cannot scrub
-                                    break;
-                                }
+                            if !p.is_data() {
+                                ok = false; // phantom data: cannot scrub
+                                break;
+                            }
+                            let mut off = 0usize;
+                            for c in p.chunks() {
+                                acc.fold_at(off, c);
+                                off += c.len();
                             }
                         }
                         if !ok {
@@ -216,10 +222,22 @@ impl Cluster {
                         let parity = self.with_server(ly.parity_server(g), |srv| {
                             srv.store().read(meta.fh, StreamKind::Parity, ly.parity_local_off(g, 0), unit)
                         });
-                        let Some(pbytes) = parity.as_bytes() else { continue };
+                        if !parity.is_data() {
+                            continue;
+                        }
                         report.groups_checked += 1;
-                        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
-                        if parity_of(&refs) != pbytes.as_ref() {
+                        let mut off = 0usize;
+                        let mut matches = parity.len() == unit;
+                        for c in parity.chunks() {
+                            if !matches {
+                                break;
+                            }
+                            if acc.current()[off..off + c.len()] != c[..] {
+                                matches = false;
+                            }
+                            off += c.len();
+                        }
+                        if !matches {
                             report.bad_groups.push((meta.name.clone(), g));
                         }
                     }

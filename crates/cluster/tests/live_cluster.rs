@@ -44,7 +44,7 @@ fn assert_parity_consistent(cluster: &Cluster, file: &csar_cluster::File) {
         });
         let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
         assert!(
-            parity_consistent(&refs, parity.as_bytes().expect("real data")),
+            parity_consistent(&refs, &parity.as_bytes().expect("real data")),
             "group {g} parity inconsistent"
         );
     }

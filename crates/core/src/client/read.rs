@@ -243,10 +243,12 @@ impl ReadDriver {
             let p = p.ok_or_else(|| {
                 CsarError::Protocol("reconstruction input missing at fold time".into())
             })?;
-            acc = Some(match acc {
-                None => p,
-                Some(a) => a.xor(&p),
-            });
+            // First input seeds the accumulator (its buffer is
+            // uniquified on the first fold); the rest xor in place.
+            match acc.as_mut() {
+                None => acc = Some(p),
+                Some(a) => a.xor_assign(&p),
+            }
         }
         let Some(mut rebuilt) = acc else {
             return Err(CsarError::Protocol("reconstruction job with no inputs".into()));
@@ -259,10 +261,7 @@ impl ReadDriver {
                 debug_assert!(
                     run_off >= span.logical_off && run_off + run_pay.len() <= span.end()
                 );
-                let a = run_off - span.logical_off;
-                let before = rebuilt.slice(0, a);
-                let after = rebuilt.slice(a + run_pay.len(), span.len - a - run_pay.len());
-                rebuilt = Payload::concat(&[before, run_pay, after]);
+                rebuilt.write_at(run_off - span.logical_off, &run_pay);
             }
         }
         self.segments.push((span.logical_off, rebuilt));

@@ -141,6 +141,11 @@ pub struct ServerConfig {
     /// pre-read ever happens ("we artificially padded all partial block
     /// writes at the I/O servers so that only full blocks were written").
     pub pad_partial_blocks: bool,
+    /// Sequential readahead depth in fs blocks (0 = off, the paper
+    /// configuration). A read continuing a per-stream sequential run
+    /// prefetches up to this many further blocks, charged as disk reads
+    /// up front; later sequential reads then hit in cache.
+    pub readahead_blocks: u64,
 }
 
 impl Default for ServerConfig {
@@ -150,6 +155,7 @@ impl Default for ServerConfig {
             cache_bytes: 768 << 20,
             write_buffering: true,
             pad_partial_blocks: false,
+            readahead_blocks: 0,
         }
     }
 }
@@ -227,11 +233,13 @@ pub struct IoServer {
 impl IoServer {
     /// A fresh server.
     pub fn new(id: ServerId, cfg: ServerConfig) -> Self {
+        let mut cache = CacheModel::new(cfg.fs_block, cfg.cache_bytes);
+        cache.set_readahead(cfg.readahead_blocks);
         Self {
             id,
             cfg,
             store: LocalStore::new(),
-            cache: CacheModel::new(cfg.fs_block, cfg.cache_bytes),
+            cache,
             locks: ParityLockTable::new(),
             overflow: HashMap::new(),
             overflow_mirror: HashMap::new(),
@@ -530,14 +538,18 @@ impl IoServer {
                         None => {
                             // Pad to a full stripe-unit slot (the padded
                             // block is written out whole).
-                            let padded = match &payload {
-                                Payload::Data(b) => {
-                                    let mut buf = vec![0u8; unit as usize];
-                                    buf[intra as usize..(intra + len) as usize]
-                                        .copy_from_slice(b);
-                                    Payload::from_vec(buf)
-                                }
-                                Payload::Phantom(_) => Payload::Phantom(unit),
+                            let padded = if payload.is_data() {
+                                // Gather the zero padding around the data
+                                // instead of copying into a fresh block;
+                                // the zero runs share the static zero
+                                // buffer.
+                                Payload::concat(&[
+                                    Payload::zeros(intra as usize),
+                                    payload.clone(),
+                                    Payload::zeros((unit - intra - len) as usize),
+                                ])
+                            } else {
+                                Payload::Phantom(unit)
                             };
                             let slot = self.store.append(hdr.fh, stream, padded);
                             self.overflow_slots.insert(slot_key, slot);
@@ -711,10 +723,14 @@ impl IoServer {
         }
         let first = off / fs;
         let last = (off + len - 1) / fs;
+        // Readahead never runs past the stored stream: prefetching past
+        // EOF would fabricate disk traffic the file system cannot issue.
+        let eof = self.store.file(fh, stream).map(|f| f.size()).unwrap_or(0);
         for blk in first..=last {
             if self.cache.contains_block((fh, stream), blk) {
                 cost.cache_read_bytes += fs;
-                self.cache.read_range((fh, stream), blk * fs, 1);
+                let rac = self.cache.read_range_bounded((fh, stream), blk * fs, 1, eof);
+                cost.disk_read_bytes += rac.prefetched_blocks * fs;
             } else if self
                 .store
                 .file(fh, stream)
@@ -722,7 +738,8 @@ impl IoServer {
                 .unwrap_or(false)
             {
                 cost.disk_read_bytes += fs;
-                self.cache.read_range((fh, stream), blk * fs, 1);
+                let rac = self.cache.read_range_bounded((fh, stream), blk * fs, 1, eof);
+                cost.disk_read_bytes += rac.prefetched_blocks * fs;
             }
             // else: a hole — zeros, free, nothing becomes resident.
         }

@@ -3,7 +3,7 @@
 //! its correct primary location, redundancy must go to the right
 //! servers, and payload contents must survive slicing.
 
-use csar_core::client::{OpDriver, WriteDriver};
+use csar_core::client::WriteDriver;
 use csar_core::manager::FileMeta;
 use csar_core::proto::{Request, Response, Scheme};
 use csar_core::Layout;

@@ -68,6 +68,26 @@ impl ParityAccumulator {
         self.folded += 1;
     }
 
+    /// Clear back to all-zero so the accumulator can fold the next group.
+    ///
+    /// Reuses the existing buffer: no allocation, which is what lets a
+    /// long run of whole-group parity computations reach zero steady-state
+    /// heap traffic.
+    pub fn reset(&mut self) {
+        self.buf.fill(0);
+        self.folded = 0;
+    }
+
+    /// [`reset`](Self::reset) to a (possibly different) block length.
+    ///
+    /// Reuses the buffer's capacity; only grows the allocation when
+    /// `block_len` exceeds every length seen so far.
+    pub fn reset_to(&mut self, block_len: usize) {
+        self.buf.clear();
+        self.buf.resize(block_len, 0);
+        self.folded = 0;
+    }
+
     /// Read the current parity without consuming the accumulator.
     pub fn current(&self) -> &[u8] {
         &self.buf
@@ -118,5 +138,29 @@ mod tests {
     fn fold_at_past_end_panics() {
         let mut acc = ParityAccumulator::new(4);
         acc.fold_at(3, &[1, 2]);
+    }
+
+    #[test]
+    fn reset_reuses_the_buffer() {
+        let mut acc = ParityAccumulator::new(8);
+        acc.fold(&[0xffu8; 8]);
+        let before = acc.current().as_ptr();
+        acc.reset();
+        assert_eq!(acc.folded(), 0);
+        assert_eq!(acc.current(), &[0u8; 8]);
+        assert_eq!(acc.current().as_ptr(), before, "reset must not reallocate");
+    }
+
+    #[test]
+    fn reset_to_shrinks_without_realloc() {
+        let mut acc = ParityAccumulator::new(16);
+        acc.fold(&[1u8; 16]);
+        let before = acc.current().as_ptr();
+        acc.reset_to(8);
+        assert_eq!(acc.block_len(), 8);
+        assert_eq!(acc.current(), &[0u8; 8]);
+        assert_eq!(acc.current().as_ptr(), before, "shrinking reset must reuse capacity");
+        acc.fold(&[3u8; 8]);
+        assert_eq!(acc.current(), &[3u8; 8]);
     }
 }

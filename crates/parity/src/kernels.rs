@@ -4,11 +4,34 @@
 //! The individual kernels stay public so the microbenchmarks can measure
 //! the Swift/RAID "word-at-a-time parity" effect directly.
 
-/// Threshold above which the thread-parallel kernel pays for itself.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default threshold above which the thread-parallel kernel pays for itself.
 ///
 /// Below this the thread spawn/join overhead dominates; the value was
-/// chosen from the `parity_kernels` bench on a commodity x86-64 box.
+/// chosen from the `parity_kernels` bench on a commodity x86-64 box. The
+/// live threshold is a runtime tunable — see [`parallel_threshold`] /
+/// [`set_parallel_threshold`] and the `tuning` module; this constant is
+/// only the starting value.
 pub const PARALLEL_THRESHOLD: usize = 1 << 22; // 4 MiB
+
+static PARALLEL_THRESHOLD_NOW: AtomicUsize = AtomicUsize::new(PARALLEL_THRESHOLD);
+
+/// The live parallel-dispatch threshold used by [`xor_into`].
+pub fn parallel_threshold() -> usize {
+    PARALLEL_THRESHOLD_NOW.load(Ordering::Relaxed)
+}
+
+/// Override the parallel-dispatch threshold (bytes).
+///
+/// Every kernel computes the same result, so changing the threshold is
+/// always safe — it only moves the point where [`xor_into`] switches from
+/// the unrolled kernel to scoped threads. `0` sends everything through
+/// the parallel path (which itself falls back to unrolled below its
+/// per-thread chunk size); [`PARALLEL_THRESHOLD`] restores the default.
+pub fn set_parallel_threshold(bytes: usize) {
+    PARALLEL_THRESHOLD_NOW.store(bytes, Ordering::Relaxed);
+}
 
 /// XOR `src` into `dst` byte by byte.
 ///
@@ -115,7 +138,7 @@ pub fn xor_into_parallel(dst: &mut [u8], src: &[u8]) {
 /// Panics if lengths differ.
 #[inline]
 pub fn xor_into(dst: &mut [u8], src: &[u8]) {
-    if dst.len() >= PARALLEL_THRESHOLD {
+    if dst.len() >= parallel_threshold() {
         xor_into_parallel(dst, src);
     } else {
         xor_into_unrolled(dst, src);

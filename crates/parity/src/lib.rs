@@ -20,12 +20,16 @@
 //! All kernels are pure and allocation-free over caller-provided buffers.
 
 pub mod kernels;
+pub mod tuning;
 
 mod accumulator;
 mod recover;
 
 pub use accumulator::ParityAccumulator;
-pub use kernels::{xor_into, xor_into_bytewise, xor_into_parallel, xor_into_unrolled, xor_into_wordwise};
+pub use kernels::{
+    parallel_threshold, set_parallel_threshold, xor_into, xor_into_bytewise, xor_into_parallel,
+    xor_into_unrolled, xor_into_wordwise,
+};
 pub use recover::reconstruct;
 
 /// Compute the parity of `blocks` (all equal length) into a fresh vector.

@@ -1,0 +1,103 @@
+//! Runtime tuning of the kernel ladder, `analysis.toml`-style.
+//!
+//! The crossover point between the unrolled and thread-parallel kernels
+//! depends on the host (core count, memory bandwidth), so hard-coding
+//! 4 MiB is only a default. A `parity.toml` at the workspace root can
+//! override it:
+//!
+//! ```toml
+//! [parity]
+//! parallel_threshold = 4194304
+//! ```
+//!
+//! The parser is the same deliberately tiny TOML subset `csar-analysis`
+//! uses for `analysis.toml`: `[parity]` section headers and single-line
+//! `key = value` pairs, with unknown keys rejected loudly so a typo
+//! cannot silently leave the default in place. `csar-bench`'s `figures`
+//! binary (and the `parity_kernels` bench, which *measures* the
+//! crossover) load it at startup when present.
+
+use crate::kernels::set_parallel_threshold;
+
+/// Apply tuning overrides from config text. Unknown sections, keys or
+/// malformed values are errors; an empty file is a no-op.
+pub fn apply_str(text: &str) -> Result<(), String> {
+    let mut in_parity = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            if name != "parity" {
+                return Err(format!("line {lineno}: section [{name}] is not [parity]"));
+            }
+            in_parity = true;
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`"));
+        };
+        if !in_parity {
+            return Err(format!("line {lineno}: key outside the [parity] section"));
+        }
+        match key.trim() {
+            "parallel_threshold" => {
+                let bytes: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: parallel_threshold must be a byte count"))?;
+                set_parallel_threshold(bytes);
+            }
+            other => return Err(format!("line {lineno}: unknown key `{other}`")),
+        }
+    }
+    Ok(())
+}
+
+/// Load `path` if it exists and apply it. Returns `Ok(false)` when the
+/// file is absent (not an error: tuning is optional), `Ok(true)` when an
+/// override was applied.
+pub fn load_file(path: &str) -> Result<bool, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            apply_str(&text).map_err(|e| format!("{path}: {e}"))?;
+            Ok(true)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(format!("{path}: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{parallel_threshold, set_parallel_threshold, PARALLEL_THRESHOLD};
+
+    #[test]
+    fn applies_threshold_and_restores() {
+        apply_str("# tuned\n[parity]\nparallel_threshold = 65536\n").unwrap();
+        assert_eq!(parallel_threshold(), 65536);
+        set_parallel_threshold(PARALLEL_THRESHOLD);
+    }
+
+    #[test]
+    fn empty_and_comment_only_are_noops() {
+        apply_str("").unwrap();
+        apply_str("# nothing\n\n").unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_shapes() {
+        assert!(apply_str("[lint.x]\n").is_err());
+        assert!(apply_str("[parity]\nthreads = 4\n").is_err());
+        assert!(apply_str("parallel_threshold = 1\n").is_err());
+        assert!(apply_str("[parity]\nparallel_threshold = lots\n").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_ok_false() {
+        assert_eq!(load_file("/nonexistent/parity.toml"), Ok(false));
+    }
+}

@@ -10,7 +10,7 @@ use csar_core::manager::FileMeta;
 use csar_core::proto::{Request, Response, Scheme};
 use csar_core::server::{Effect as SrvEffect, IoServer, ServerConfig};
 use csar_core::Layout;
-use csar_store::Payload;
+use csar_store::{Bytes, Payload, SplitMix64};
 use std::collections::{HashMap, VecDeque};
 
 /// One workload operation issued by a simulated client.
@@ -160,6 +160,21 @@ pub struct SimCluster {
     /// in-flight wave has arrived, then deliver sequentially — the old
     /// batch-synchronous engine, kept for old-vs-new benchmarking.
     barrier: bool,
+    /// Carry real bytes in write payloads instead of `Payload::Phantom`,
+    /// so the parity folds do real XOR work on the host. Virtual-time
+    /// results are unchanged (the sim charges modelled compute either
+    /// way); this exists so the datapath bench can measure host
+    /// wall-clock and allocations of the actual byte pipeline.
+    data_payloads: bool,
+    /// Put write drivers on the copying parity fold
+    /// ([`WriteDriver::set_copy_datapath`]) — the datapath bench's
+    /// pre-zero-allocation reference.
+    copy_datapath: bool,
+    /// Shared pattern region backing data-payload mode: grown lazily to
+    /// the largest write seen, then sliced per op at O(1). Keeping one
+    /// long-lived buffer means measured phases time the byte pipeline,
+    /// not the page allocator faulting in fresh payloads.
+    pattern: Bytes,
     // Phase accounting.
     active_clients: usize,
     bytes_written: u64,
@@ -179,6 +194,7 @@ impl SimCluster {
             cache_bytes: profile.server_cache_bytes,
             write_buffering: profile.write_buffering,
             pad_partial_blocks: profile.pad_partial_blocks,
+            ..ServerConfig::default()
         };
         Self {
             profile,
@@ -213,6 +229,9 @@ impl SimCluster {
             failed: None,
             slowdown_ns: vec![0; servers as usize],
             barrier: false,
+            data_payloads: false,
+            copy_datapath: false,
+            pattern: Bytes::new(),
             active_clients: 0,
             bytes_written: 0,
             bytes_read: 0,
@@ -294,6 +313,42 @@ impl SimCluster {
     /// batch-synchronous — while comparison runs toggle it.
     pub fn set_barrier_mode(&mut self, barrier: bool) {
         self.barrier = barrier;
+    }
+
+    /// Carry real (deterministic pseudo-random) bytes in write payloads
+    /// instead of [`Payload::Phantom`]. Virtual-time results do not
+    /// change — the simulator charges modelled XOR/copy time either way —
+    /// but the client drivers then do the real byte work, which is what
+    /// the datapath bench times on the host clock.
+    pub fn set_data_payloads(&mut self, on: bool) {
+        self.data_payloads = on;
+    }
+
+    /// Run write drivers on the copying parity fold (per-step `xor` +
+    /// re-concatenation) instead of the in-place accumulation path; the
+    /// A/B reference for [`SimCluster::set_data_payloads`] measurements.
+    pub fn set_copy_datapath(&mut self, on: bool) {
+        self.copy_datapath = on;
+    }
+
+    /// Deterministic payload bytes for data-payload mode: a seeded
+    /// 4 KiB block tiled into one shared buffer (grown by doubling on
+    /// first demand), sliced per op. After warmup every write's payload
+    /// is an O(1) slice of long-lived memory.
+    fn pattern_payload(&mut self, len: u64) -> Payload {
+        let len = len as usize;
+        if self.pattern.len() < len {
+            let target = len.next_power_of_two();
+            let mut v = vec![0u8; target.min(4096)];
+            SplitMix64::new(0xC5A2_DA7A).fill_bytes(&mut v);
+            v.reserve_exact(target - v.len());
+            while v.len() < target {
+                let n = (target - v.len()).min(v.len());
+                v.extend_from_within(..n);
+            }
+            self.pattern = Bytes::from(v);
+        }
+        Payload::Data(self.pattern.slice(0..len))
     }
 
     /// Set the per-op client overhead charged to every client's CPU at
@@ -491,7 +546,15 @@ impl SimCluster {
                     m.size = m.size.max(off + len);
                     m.clone()
                 };
-                let mut wd = WriteDriver::new(&meta, off, Payload::Phantom(len));
+                let payload = if self.data_payloads {
+                    self.pattern_payload(len)
+                } else {
+                    Payload::Phantom(len)
+                };
+                let mut wd = WriteDriver::new(&meta, off, payload);
+                if self.copy_datapath {
+                    wd.set_copy_datapath(true);
+                }
                 // Barrier-compat reproduces the retired batch engine:
                 // besides holding reply delivery (see `deliver`), the
                 // driver must also keep the batch issue ORDER — whole-

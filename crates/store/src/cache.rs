@@ -21,10 +21,14 @@ pub struct RangeAccess {
     pub hit_blocks: u64,
     /// Blocks that had to come from disk (now resident).
     pub miss_blocks: u64,
+    /// Blocks loaded *ahead* of the request by sequential readahead
+    /// (also from disk, also now resident). Zero unless readahead is
+    /// enabled and the access continued a sequential stream.
+    pub prefetched_blocks: u64,
 }
 
 impl RangeAccess {
-    /// Total blocks touched.
+    /// Total blocks the request itself touched (excludes readahead).
     pub fn total(&self) -> u64 {
         self.hit_blocks + self.miss_blocks
     }
@@ -40,6 +44,10 @@ pub struct CacheModel {
     /// last-use tick → (file, block index); the eviction order.
     order: BTreeMap<u64, (FileKey, u64)>,
     tick: u64,
+    /// Blocks to prefetch past a sequential read (0 = readahead off).
+    readahead_blocks: u64,
+    /// Per-stream sequential-read detector: next expected block index.
+    streams: HashMap<FileKey, u64>,
 }
 
 impl CacheModel {
@@ -55,7 +63,17 @@ impl CacheModel {
             map: HashMap::new(),
             order: BTreeMap::new(),
             tick: 0,
+            readahead_blocks: 0,
+            streams: HashMap::new(),
         }
+    }
+
+    /// Enable sequential readahead: a read that starts exactly where the
+    /// previous read of the same stream ended prefetches up to `blocks`
+    /// further blocks. `0` (the default) disables readahead, keeping the
+    /// model bit-identical to the paper-reproduction configuration.
+    pub fn set_readahead(&mut self, blocks: u64) {
+        self.readahead_blocks = blocks;
     }
 
     /// An effectively unbounded cache (everything stays resident).
@@ -112,6 +130,15 @@ impl CacheModel {
     /// Classify a *read* of `[off, off+len)`: hits stay resident, misses
     /// are loaded (counted as disk blocks) and become resident.
     pub fn read_range(&mut self, key: FileKey, off: u64, len: u64) -> RangeAccess {
+        self.read_range_bounded(key, off, len, u64::MAX)
+    }
+
+    /// [`read_range`](Self::read_range) with readahead clamped to `eof`:
+    /// blocks starting at or past `eof` bytes are never prefetched
+    /// (prefetching past the stored stream would fabricate disk traffic
+    /// the real file system could not issue). The request itself is not
+    /// clamped — callers already bound it.
+    pub fn read_range_bounded(&mut self, key: FileKey, off: u64, len: u64, eof: u64) -> RangeAccess {
         let mut acc = RangeAccess::default();
         for blk in self.block_range(off, len) {
             if self.touch_block(key, blk) {
@@ -119,6 +146,21 @@ impl CacheModel {
             } else {
                 acc.miss_blocks += 1;
             }
+        }
+        if self.readahead_blocks > 0 && len > 0 {
+            let range = self.block_range(off, len);
+            let sequential = self.streams.get(&key) == Some(&range.start);
+            if sequential {
+                let eof_block = eof.div_ceil(self.block_size);
+                let stop = range.end.saturating_add(self.readahead_blocks).min(eof_block);
+                for blk in range.end..stop {
+                    if !self.map.contains_key(&(key, blk)) {
+                        self.touch_block(key, blk);
+                        acc.prefetched_blocks += 1;
+                    }
+                }
+            }
+            self.streams.insert(key, range.end);
         }
         acc
     }
@@ -155,12 +197,14 @@ impl CacheModel {
             self.map.remove(&k);
             self.order.remove(&tick);
         }
+        self.streams.retain(|(handle, _), _| *handle != fh);
     }
 
     /// Drop everything.
     pub fn evict_all(&mut self) {
         self.map.clear();
         self.order.clear();
+        self.streams.clear();
     }
 }
 
@@ -174,9 +218,9 @@ mod tests {
     fn cold_read_is_all_misses_then_hits() {
         let mut c = CacheModel::new(4096, 1 << 20);
         let a = c.read_range((1, DATA), 0, 8192);
-        assert_eq!(a, RangeAccess { hit_blocks: 0, miss_blocks: 2 });
+        assert_eq!(a, RangeAccess { hit_blocks: 0, miss_blocks: 2, prefetched_blocks: 0 });
         let b = c.read_range((1, DATA), 0, 8192);
-        assert_eq!(b, RangeAccess { hit_blocks: 2, miss_blocks: 0 });
+        assert_eq!(b, RangeAccess { hit_blocks: 2, miss_blocks: 0, prefetched_blocks: 0 });
     }
 
     #[test]
@@ -237,5 +281,48 @@ mod tests {
             c.write_range((1, DATA), i * 4096, 4096);
         }
         assert_eq!(c.resident_blocks(), 10_000);
+    }
+
+    #[test]
+    fn readahead_prefetches_only_on_sequential_streams() {
+        let mut c = CacheModel::new(4096, 1 << 20);
+        c.set_readahead(4);
+        // First read of the stream: not yet sequential, no prefetch.
+        let a = c.read_range((1, DATA), 0, 8192);
+        assert_eq!(a, RangeAccess { hit_blocks: 0, miss_blocks: 2, prefetched_blocks: 0 });
+        // Continuation: prefetch kicks in past the requested range.
+        let b = c.read_range((1, DATA), 8192, 8192);
+        assert_eq!(b, RangeAccess { hit_blocks: 0, miss_blocks: 2, prefetched_blocks: 4 });
+        // The prefetched blocks now hit without further disk traffic.
+        let d = c.read_range((1, DATA), 16384, 16384);
+        assert_eq!(d.miss_blocks, 0);
+        assert_eq!(d.hit_blocks, 4);
+        // A random (non-adjacent) read never prefetches.
+        let r = c.read_range((1, DATA), 4096 * 100, 4096);
+        assert_eq!(r.prefetched_blocks, 0);
+    }
+
+    #[test]
+    fn readahead_respects_eof_bound() {
+        let mut c = CacheModel::new(4096, 1 << 20);
+        c.set_readahead(8);
+        c.read_range_bounded((1, DATA), 0, 4096, 4096 * 3);
+        let b = c.read_range_bounded((1, DATA), 4096, 4096, 4096 * 3);
+        assert_eq!(b.prefetched_blocks, 1, "only one block remains before EOF");
+    }
+
+    #[test]
+    fn readahead_off_by_default_and_streams_reset_on_eviction() {
+        let mut c = CacheModel::new(4096, 1 << 20);
+        let a = c.read_range((1, DATA), 0, 4096);
+        let b = c.read_range((1, DATA), 4096, 4096);
+        assert_eq!(a.prefetched_blocks + b.prefetched_blocks, 0);
+        c.set_readahead(2);
+        c.read_range((1, DATA), 8192, 4096);
+        c.evict_file(1);
+        // The stream tracker was dropped with the file: the next read is
+        // treated as a fresh (non-sequential) access.
+        let d = c.read_range((1, DATA), 12288, 4096);
+        assert_eq!(d.prefetched_blocks, 0);
     }
 }

@@ -34,6 +34,7 @@ mod accounting;
 mod cache;
 mod local;
 mod payload;
+mod pool;
 mod sparse;
 mod write_buffer;
 
@@ -41,8 +42,10 @@ pub use accounting::{fmt_mb, StorageReport, StreamUsage};
 pub use bytes::{Bytes, BytesMut};
 pub use cache::{CacheModel, FileKey};
 pub use json::{FromJson, Json, JsonError, ToJson};
+pub use cache::RangeAccess;
 pub use local::{LocalStore, StoreImage, StreamKind};
-pub use payload::Payload;
+pub use payload::{concat_flat, Payload};
+pub use pool::{BufferPool, PooledBuf};
 pub use rng::SplitMix64;
 pub use sparse::SparseFile;
 pub use write_buffer::{FlushedBlock, WriteBuffer};

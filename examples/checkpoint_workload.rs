@@ -82,7 +82,7 @@ fn main() {
                     s.store().read(meta.fh, StreamKind::Parity, ly.parity_local_off(g, 0), unit)
                 });
                 let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
-                assert!(parity_consistent(&refs, parity.as_bytes().unwrap()));
+                assert!(parity_consistent(&refs, &parity.as_bytes().unwrap()));
             }
         }
 

@@ -15,3 +15,20 @@ cargo run -q -p csar-analysis -- check
 # Perf trajectory: regenerate the barrier-vs-pipelined ablation so
 # BENCH_pipeline.json tracks the completion-driven engine from PR 2 on.
 cargo run -q --release -p csar-bench --bin figures -- --bench-json BENCH_pipeline.json
+# Datapath smoke (PR 3): a scaled-down run of the zero-allocation
+# ablation. The allocation audit is exact and hermetic, so the gate is
+# hard: steady-state whole-group parity computation must stay at zero
+# heap allocations. The wall-clock speedup column is host-dependent and
+# therefore reported, not gated.
+# The smoke run writes to a scratch path so it never clobbers the
+# committed full-scale BENCH_datapath.json (regenerate that with
+# `figures --bench-json BENCH_datapath.json`).
+smoke=$(mktemp /tmp/BENCH_datapath_smoke.XXXXXX.json)
+trap 'rm -f "$smoke"' EXIT
+cargo run -q --release -p csar-bench --bin figures -- --bench-json "$smoke" --scale 0.25
+grep -q '"steady_allocs": 0' "$smoke" || {
+    echo "tier1: FAIL — steady-state datapath allocations regressed above zero" >&2
+    grep '"steady_allocs"' "$smoke" >&2
+    exit 1
+}
+echo "tier1: datapath steady-state allocations: 0 (gate ok)"

@@ -55,7 +55,7 @@ fn check_parity(cluster: &Cluster, file: &csar::cluster::File) {
         });
         let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
         assert!(
-            parity_consistent(&refs, parity.as_bytes().expect("real data")),
+            parity_consistent(&refs, &parity.as_bytes().expect("real data")),
             "group {g} parity inconsistent under {:?}",
             meta.scheme
         );
