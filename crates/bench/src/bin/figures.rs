@@ -137,6 +137,8 @@ fn main() {
     if let Some(path) = bench_json_path {
         if path.contains("datapath") {
             bench_datapath(&path, scale);
+        } else if path.contains("obs") {
+            bench_obs(&path, scale);
         } else {
             bench_pipeline(&path);
         }
@@ -303,6 +305,99 @@ fn bench_datapath(path: &str, scale: f64) {
         std::process::exit(1);
     });
     println!("\nwrote datapath ablation to {path}");
+}
+
+/// The observability ablation: metrics-on vs metrics-off wall-clock on
+/// the datapath bench's RAID5 whole-group write shape, plus allocation
+/// audits of the recording hot path and the parity fold with the global
+/// registry enabled, dumped as machine-readable JSON (`BENCH_obs.json`).
+fn bench_obs(path: &str, scale: f64) {
+    use csar_bench::{datapath, obs};
+    use csar_store::ToJson;
+
+    header("Metric recording hot path: heap allocations per recorded op");
+    let reg_audit = obs::registry_alloc_audit(4096);
+    println!(
+        "{} recorded ops: warmup {} allocs, steady {} allocs",
+        reg_audit.ops, reg_audit.warmup_allocs, reg_audit.steady_allocs
+    );
+
+    header("Whole-group parity fold, global registry enabled");
+    csar_obs::global().set_enabled(true);
+    let audit = datapath::whole_group_alloc_audit(5, 64 * 1024, 256);
+    csar_obs::global().set_enabled(false);
+    println!(
+        "width {} x {} KiB, {} groups: warmup {} allocs, steady {} allocs",
+        audit.width,
+        audit.unit >> 10,
+        audit.groups,
+        audit.warmup_allocs,
+        audit.steady_allocs
+    );
+
+    header("Metrics-on vs metrics-off (sim wall-clock, real payloads)");
+    let grid = obs::compare_all(scale);
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12} {:>9}",
+        "scheme", "off ns", "on ns", "off MB/s", "on MB/s", "overhead"
+    );
+    let cases: Vec<Json> = grid
+        .iter()
+        .map(|c| {
+            println!(
+                "{:>8} {:>14} {:>14} {:>12.1} {:>12.1} {:>8.2}%",
+                c.scheme.label(),
+                c.off.wall_ns,
+                c.on.wall_ns,
+                c.off.wall_write_mbps(),
+                c.on.wall_write_mbps(),
+                c.overhead_pct(),
+            );
+            Json::obj([
+                ("case", Json::from(c.case)),
+                ("scheme", Json::from(c.scheme.label())),
+                ("off_wall_ns", Json::from(c.off.wall_ns)),
+                ("on_wall_ns", Json::from(c.on.wall_ns)),
+                ("off_wall_mbps", Json::from(c.off.wall_write_mbps())),
+                ("on_wall_mbps", Json::from(c.on.wall_write_mbps())),
+                ("bytes_written", Json::from(c.on.virt.bytes_written)),
+                ("virtual_ns", Json::from(c.on.virt.duration_ns)),
+                ("overhead_pct", Json::from(c.overhead_pct())),
+                (
+                    "round_overheads_pct",
+                    Json::Arr(c.round_overheads_pct.iter().map(|&r| Json::from(r)).collect()),
+                ),
+                ("snapshot", c.snapshot.to_json()),
+            ])
+        })
+        .collect();
+    let body = Json::obj([
+        (
+            "registry_alloc_audit",
+            Json::obj([
+                ("ops", Json::from(reg_audit.ops)),
+                ("warmup_allocs", Json::from(reg_audit.warmup_allocs)),
+                ("steady_allocs", Json::from(reg_audit.steady_allocs)),
+            ]),
+        ),
+        (
+            "alloc_audit",
+            Json::obj([
+                ("width", Json::from(audit.width as u64)),
+                ("unit", Json::from(audit.unit as u64)),
+                ("groups", Json::from(audit.groups)),
+                ("warmup_allocs", Json::from(audit.warmup_allocs)),
+                ("steady_allocs", Json::from(audit.steady_allocs)),
+            ]),
+        ),
+        ("cases", Json::Arr(cases)),
+    ])
+    .to_pretty();
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote observability ablation to {path}");
 }
 
 fn header(title: &str) {

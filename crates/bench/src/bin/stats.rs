@@ -1,0 +1,82 @@
+//! `stats` — run a small mixed workload on a threaded cluster, scrape
+//! every node's metrics registry through the `GetStats` protocol
+//! request, and pretty-print the merged cluster-wide snapshot.
+//!
+//! ```text
+//! stats [servers]
+//! ```
+//!
+//! Exits nonzero if the snapshot fails to round-trip through its JSON
+//! encoding or the engine-side balance invariant
+//! (`eng_issued == eng_delivered + eng_retried_abandoned + eng_timeouts
+//! + eng_abandoned`) does not hold — which makes the binary usable as a
+//! live-cluster metrics smoke test (see `scripts/tier1.sh`).
+
+use csar_cluster::Cluster;
+use csar_core::proto::Scheme;
+use csar_core::server::ServerConfig;
+use csar_obs::Snapshot;
+use csar_store::{FromJson, Json, ToJson};
+
+fn main() {
+    let servers: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap_or_else(|_| usage(&s)))
+        .unwrap_or(6);
+
+    let cluster = Cluster::spawn(servers, ServerConfig::default());
+    cluster.set_metrics_enabled(true);
+    let client = cluster.client();
+
+    // A workload that touches every metric family: whole-group writes
+    // (parity fold), a partial Hybrid write (overflow log), a read
+    // (overflow overlay), a cleaner pass (§6.7 rewrite, including the
+    // tail-clipped group) and a scrub.
+    let unit = 64 * 1024u64;
+    let f = client.create("stats-demo", Scheme::Hybrid, unit).expect("create file");
+    let group = f.meta().layout.group_width_bytes();
+    let block = vec![0xC5u8; group as usize];
+    for i in 0..4u64 {
+        f.write_at(i * group, &block).expect("whole-group write");
+    }
+    f.write_at(4 * group, &block[..1024]).expect("partial tail write");
+    f.read_at(0, group).expect("read");
+    cluster.clean_pass().expect("clean pass");
+    cluster.scrub().expect("scrub");
+
+    let snap = cluster.metrics_snapshot().expect("metrics scrape");
+    let body = snap.to_json().to_pretty();
+    println!("{body}");
+
+    // Self-checks: the printed document must parse back to the same
+    // snapshot, and the engine balance invariant must hold.
+    let parsed = Json::parse(&body).unwrap_or_else(|e| die(&format!("snapshot JSON does not parse: {e}")));
+    let back = Snapshot::from_json(&parsed)
+        .unwrap_or_else(|e| die(&format!("snapshot JSON does not decode: {e}")));
+    if back != snap {
+        die("snapshot changed across a JSON round-trip");
+    }
+    if !snap.engine_balanced() {
+        die(&format!(
+            "engine balance violated: issued {} != delivered {} + retried {} + timeouts {} + abandoned {}",
+            snap.counter("eng_issued"),
+            snap.counter("eng_delivered"),
+            snap.counter("eng_retried_abandoned"),
+            snap.counter("eng_timeouts"),
+            snap.counter("eng_abandoned"),
+        ));
+    }
+    eprintln!("ok: snapshot round-trips and the engine balance invariant holds");
+    cluster.shutdown();
+}
+
+fn usage(arg: &str) -> ! {
+    eprintln!("error: bad server count {arg:?}");
+    eprintln!("usage: stats [servers]");
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

@@ -17,6 +17,7 @@ pub mod datapath;
 pub mod extensions;
 pub mod figures;
 pub mod harness;
+pub mod obs;
 pub mod par;
 pub mod pipeline;
 pub mod trace;

@@ -23,6 +23,7 @@ use csar_core::client::{Completion, Effect, OpDriver, OpOutput, ReadDriver, Toke
 use csar_core::manager::{FileMeta, MgrRequest, MgrResponse};
 use csar_core::proto::{ClientId, ReqHeader, Request, Response, Scheme, ServerId};
 use csar_core::{CsarError, Layout};
+use csar_obs::{Ctr, Gauge, Hist, MetricsRegistry, SpanKind};
 use csar_store::{Payload, StorageReport};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -101,6 +102,8 @@ fn retryable(req: &Request) -> bool {
             | Request::OverflowFetch { .. }
             | Request::DumpOverflowTable { .. }
             | Request::GetUsage { .. }
+            | Request::OverflowQuery { .. }
+            | Request::GetStats
     )
 }
 
@@ -114,6 +117,10 @@ struct Flight {
     first_sent: Instant,
     deadline: Instant,
     attempt: u32,
+    /// §5.1 lock-read: its round trip includes the lock wait, so the
+    /// reply also lands in [`Hist::LockWaitNs`]. Kept as a flag because
+    /// non-retryable requests drop their `req`.
+    lock_read: bool,
 }
 
 /// A client's private connection state: request-id allocator over the
@@ -133,7 +140,9 @@ struct Engine<'h> {
     tx: Sender<(u64, Response)>,
     rx: Receiver<(u64, Response)>,
     /// Submission queue, strict FIFO (see [`TransportConfig::window`]).
-    sq: VecDeque<(Token, ServerId, Request, Instant)>,
+    /// The bool marks entries that were ever head-of-line blocked on a
+    /// full per-server window (the window-stall metrics).
+    sq: VecDeque<(Token, ServerId, Request, Instant, bool)>,
     /// Locally-generated completions (requests to down servers).
     local: VecDeque<(Token, Response)>,
     /// Outstanding requests by req_id.
@@ -163,15 +172,19 @@ impl<'h> Engine<'h> {
         }
     }
 
+    fn obs(&self) -> &MetricsRegistry {
+        &self.h.inner.obs
+    }
+
     fn submit(&mut self, token: Token, srv: ServerId, req: Request) {
-        self.sq.push_back((token, srv, req, Instant::now()));
+        self.sq.push_back((token, srv, req, Instant::now(), false));
     }
 
     /// Transmit submission-queue heads while their servers have window
     /// space. Requests to down servers are answered locally.
     fn pump(&mut self) -> Result<(), CsarError> {
         loop {
-            let Some((_, srv, _, _)) = self.sq.front() else { break };
+            let Some((_, srv, _, _, _)) = self.sq.front() else { break };
             let srv = *srv;
             if self.h.inner.down[srv as usize].load(Ordering::SeqCst) {
                 if let Some((token, ..)) = self.sq.pop_front() {
@@ -180,10 +193,19 @@ impl<'h> Engine<'h> {
                 continue;
             }
             if self.per_server[srv as usize] >= self.cfg.window {
-                break; // head-of-line waits; FIFO order is the contract
+                // Head-of-line waits; FIFO order is the contract. Mark it
+                // so the stall is counted once when it finally transmits.
+                if let Some(head) = self.sq.front_mut() {
+                    head.4 = true;
+                }
+                break;
             }
-            let Some((token, srv, req, queued)) = self.sq.pop_front() else { break };
+            let Some((token, srv, req, queued, was_blocked)) = self.sq.pop_front() else { break };
             self.stats.queue_stall_ns += queued.elapsed().as_nanos() as u64;
+            if was_blocked {
+                self.obs().inc(Ctr::EngWindowStalls);
+                self.obs().observe(Hist::WindowStallNs, queued.elapsed().as_nanos() as u64);
+            }
             self.transmit(token, srv, req, Instant::now(), 0)?;
         }
         Ok(())
@@ -203,6 +225,7 @@ impl<'h> Engine<'h> {
             timeout *= self.cfg.backoff.max(1);
         }
         let keep = attempt < self.cfg.retries && retryable(&req);
+        let lock_read = matches!(req, Request::ParityReadLock { .. });
         let flight = Flight {
             token,
             srv,
@@ -210,6 +233,7 @@ impl<'h> Engine<'h> {
             first_sent,
             deadline: Instant::now() + timeout,
             attempt,
+            lock_read,
         };
         self.h.inner.server_txs[srv as usize]
             .send(ServerMsg::Req { from: self.h.id, req_id, req, reply_to: self.tx.clone() })
@@ -218,6 +242,8 @@ impl<'h> Engine<'h> {
         self.per_server[srv as usize] += 1;
         self.stats.requests += 1;
         self.stats.max_in_flight = self.stats.max_in_flight.max(self.inflight.len() as u64);
+        self.obs().inc(Ctr::EngIssued);
+        self.obs().gauge_add(Gauge::EngInFlight, 1);
         Ok(())
     }
 
@@ -251,6 +277,15 @@ impl<'h> Engine<'h> {
                         )));
                     };
                     self.per_server[f.srv as usize] -= 1;
+                    self.obs().inc(Ctr::EngDelivered);
+                    self.obs().gauge_sub(Gauge::EngInFlight, 1);
+                    let rtt = f.first_sent.elapsed().as_nanos() as u64;
+                    self.obs().observe(Hist::ReqRttNs, rtt);
+                    if f.lock_read {
+                        // The §5.1 grant round trip includes the parked
+                        // wait behind any holder.
+                        self.obs().observe(Hist::LockWaitNs, rtt);
+                    }
                     self.first_byte();
                     return Ok((f.token, resp));
                 }
@@ -278,9 +313,13 @@ impl<'h> Engine<'h> {
                 Some(req) => {
                     self.superseded.insert(req_id);
                     self.stats.retries += 1;
+                    self.obs().inc(Ctr::EngRetriedAbandoned);
+                    self.obs().gauge_sub(Gauge::EngInFlight, 1);
                     self.transmit(f.token, f.srv, req, f.first_sent, f.attempt + 1)?;
                 }
                 None => {
+                    self.obs().inc(Ctr::EngTimeouts);
+                    self.obs().gauge_sub(Gauge::EngInFlight, 1);
                     return Err(CsarError::Timeout {
                         server: f.srv,
                         waited_ms: f.first_sent.elapsed().as_millis() as u64,
@@ -303,6 +342,20 @@ impl<'h> Engine<'h> {
     }
 }
 
+impl Drop for Engine<'_> {
+    /// Whatever is still in flight when the op ends (a driver that
+    /// failed early, or an engine error path) is abandoned: counted so
+    /// `eng_issued == eng_delivered + eng_retried_abandoned +
+    /// eng_timeouts + eng_abandoned` holds at every quiesce point.
+    fn drop(&mut self) {
+        let n = self.inflight.len() as u64;
+        if n > 0 {
+            self.obs().add(Ctr::EngAbandoned, n);
+            self.obs().gauge_sub(Gauge::EngInFlight, n);
+        }
+    }
+}
+
 impl Handle {
     pub(crate) fn new(inner: Arc<Inner>) -> Self {
         let id = inner.next_client.fetch_add(1, Ordering::SeqCst);
@@ -315,6 +368,12 @@ impl Handle {
 
     fn transport(&self) -> TransportConfig {
         *self.inner.transport.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The cluster-wide client-side registry (engine and cleaner
+    /// metrics; the servers each keep their own).
+    pub(crate) fn obs(&self) -> &MetricsRegistry {
+        &self.inner.obs
     }
 
     /// Drive one core operation to completion over a private engine,
@@ -535,7 +594,10 @@ impl File {
         // the scheme's redundancy permits (see WriteDriver::new_degraded).
         let failed = self.handle.failed();
         let mut driver = WriteDriver::new_degraded(&meta, off, payload, failed);
+        let t0 = Instant::now();
         let (out, stats) = self.handle.run_op(&mut driver)?;
+        self.handle.obs().observe(Hist::OpWriteNs, t0.elapsed().as_nanos() as u64);
+        self.handle.obs().span(SpanKind::Write, t0, len);
         self.record(&stats);
         let OpOutput::Written { bytes } = out else {
             return Err(CsarError::Protocol("write returned a read output".into()));
@@ -569,7 +631,10 @@ impl File {
         let meta = self.meta();
         let failed = self.handle.failed();
         let mut driver = ReadDriver::new(&meta, off, len, failed);
+        let t0 = Instant::now();
         let (out, stats) = self.handle.run_op(&mut driver)?;
+        self.handle.obs().observe(Hist::OpReadNs, t0.elapsed().as_nanos() as u64);
+        self.handle.obs().span(SpanKind::Read, t0, len);
         self.record(&stats);
         Ok(out.into_payload())
     }

@@ -9,6 +9,7 @@ use csar_core::recovery::RebuildPlan;
 use csar_core::manager::Manager;
 use csar_core::server::{IoServer, ServerConfig, ServerImage};
 use csar_core::{CsarError, Span};
+use csar_obs::MetricsRegistry;
 use csar_parity::ParityAccumulator;
 use csar_store::{FromJson, Json, Payload, ToJson};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -24,6 +25,9 @@ pub(crate) struct Inner {
     pub next_client: AtomicU32,
     pub servers: u32,
     pub transport: Mutex<TransportConfig>,
+    /// Cluster-wide client-side metrics (engine, per-op latency,
+    /// cleaner/scrubber); each server keeps its own registry.
+    pub obs: MetricsRegistry,
 }
 
 /// A running in-process CSAR cluster.
@@ -78,6 +82,7 @@ impl Cluster {
                 next_client: AtomicU32::new(1),
                 servers: n,
                 transport: Mutex::new(TransportConfig::default()),
+                obs: MetricsRegistry::new(),
             }),
             threads: Mutex::new(threads),
         }
@@ -149,6 +154,49 @@ impl Cluster {
     /// A new independent client handle.
     pub fn client(&self) -> ClusterClient {
         ClusterClient::new(Handle::new(Arc::clone(&self.inner)))
+    }
+
+    /// The cluster-wide client-side metrics registry (engine transport,
+    /// per-op latency, cleaner and scrubber counters). Server-side
+    /// metrics live in each `IoServer`; scrape them with `GetStats` or
+    /// merge everything via [`Cluster::metrics_snapshot`].
+    pub fn obs(&self) -> &MetricsRegistry {
+        &self.inner.obs
+    }
+
+    /// Turn metric recording on or off everywhere: the client-side
+    /// registry, every server's registry, and the process-global
+    /// registry the core drivers record into.
+    pub fn set_metrics_enabled(&self, on: bool) {
+        self.inner.obs.set_enabled(on);
+        csar_obs::global().set_enabled(on);
+        for srv in 0..self.servers() {
+            self.with_server(srv, |s| s.obs.set_enabled(on));
+        }
+    }
+
+    /// One merged snapshot of every registry in the cluster: each
+    /// server's (scraped via `GetStats` so the path any remote client
+    /// would use stays exercised), the cluster-wide client registry, and
+    /// the process-global driver registry.
+    pub fn metrics_snapshot(&self) -> Result<csar_obs::Snapshot, CsarError> {
+        let client = self.client();
+        let mut merged = csar_obs::Snapshot::default();
+        for srv in 0..self.servers() {
+            if self.inner.down[srv as usize].load(Ordering::SeqCst) {
+                continue;
+            }
+            match client.handle().send_one(srv, Request::GetStats)? {
+                csar_core::proto::Response::Stats { snapshot } => merged.merge(&snapshot),
+                csar_core::proto::Response::Err(e) => return Err(e),
+                other => {
+                    return Err(CsarError::Protocol(format!("expected Stats, got {other:?}")))
+                }
+            }
+        }
+        merged.merge(&self.inner.obs.snapshot());
+        merged.merge(&csar_obs::global().snapshot());
+        Ok(merged)
     }
 
     /// Replace the transport tuning (in-flight window, reply deadline,

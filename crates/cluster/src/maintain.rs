@@ -17,13 +17,15 @@
 //! rely on.
 
 use crate::deploy::Cluster;
-use csar_core::proto::Scheme;
-use csar_core::CsarError;
+use csar_core::proto::{ReqHeader, Request, Response, Scheme, ServerId};
+use csar_core::{CsarError, Span};
+use csar_obs::{Ctr, SpanKind};
 use csar_parity::ParityAccumulator;
-use csar_store::StreamKind;
+use csar_store::{Payload, StreamKind};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Handle to a running background cleaner. Stops (and joins) on drop or
 /// via [`CleanerHandle::stop`].
@@ -86,9 +88,14 @@ impl Cluster {
     /// the overflow logs. Returns a handle; the daemon stops when the
     /// handle is dropped.
     ///
-    /// The cleaner runs against quiescent files; like the paper's
-    /// proposal it is meant for low-load periods (it takes no locks
-    /// against concurrent writers beyond the ordinary write path).
+    /// Like the paper's proposal the cleaner is meant for low-load
+    /// periods, but it is safe against concurrent writers: each group is
+    /// rewritten while holding that group's §5.1 parity lock (so it
+    /// serializes with locking writers and other cleaners), and the
+    /// overflow entries it migrated are dropped only by a
+    /// generation-guarded conditional invalidation — a partial write
+    /// that lands mid-rewrite keeps its (newer) overflow entry and the
+    /// group's reclaim is simply deferred to the next pass.
     pub fn start_cleaner(&self, interval: Duration) -> CleanerHandle {
         let stop = Arc::new(AtomicBool::new(false));
         let passes = Arc::new(AtomicU64::new(0));
@@ -114,12 +121,45 @@ impl Cluster {
         CleanerHandle { stop, passes, thread: Some(thread) }
     }
 
-    /// One synchronous cleaning pass over every Hybrid file: read each
-    /// group that has live overflow data, rewrite it as a full-group
-    /// write (which computes fresh parity and invalidates the overflow
-    /// entries), then compact the logs.
+    /// One synchronous cleaning pass over every Hybrid file: rewrite
+    /// each group that has live overflow data as an in-place full-group
+    /// write with fresh parity, conditionally invalidate the migrated
+    /// overflow entries, then compact the logs. Returns the overflow
+    /// bytes reclaimed.
+    ///
+    /// Per group the pass is:
+    ///
+    /// 1. **Ranged liveness query** — one `OverflowQuery` per block copy
+    ///    (primary and mirror), clipped to the group's byte range, so
+    ///    only groups that actually hold live overflow are rewritten.
+    ///    The reply also carries the owning table's generation, sampled
+    ///    here as the reclaim guard.
+    /// 2. **Locked rewrite** — take the group's §5.1 parity lock, read
+    ///    the latest contents (`ReadLatest` overlays live overflow),
+    ///    write them back in place *without* invalidating, and publish
+    ///    fresh parity with the unlock-write. Tail groups are rewritten
+    ///    clipped to EOF; parity is computed over the zero-extended
+    ///    group, matching how holes read as zeros.
+    /// 3. **Conditional reclaim** — `InvalidateOverflowRange` with the
+    ///    sampled generation. If a partial write raced the rewrite the
+    ///    generation has advanced and the server declines: the writer's
+    ///    newer overflow entry keeps masking the (now stale) in-place
+    ///    bytes and the group's reclaim is deferred to the next pass.
+    ///
+    /// Concurrent *whole-group* writers remain last-writer-wins against
+    /// the cleaner's rewrite, exactly as two racing whole-group writes
+    /// always were under Hybrid (neither takes the parity lock).
     pub fn clean_pass(&self) -> Result<u64, CsarError> {
+        self.clean_pass_hooked(&mut |_| {})
+    }
+
+    /// Test seam: `clean_pass` with a callback invoked after each
+    /// group's latest contents are read but before they are rewritten —
+    /// the exact window a concurrent partial write must survive.
+    #[doc(hidden)]
+    pub fn clean_pass_hooked(&self, mid_rewrite: &mut dyn FnMut(u64)) -> Result<u64, CsarError> {
         let client = self.client();
+        let obs = self.obs();
         let mut reclaimed = 0u64;
         for meta in client.list_files()? {
             if meta.scheme != Scheme::Hybrid || meta.size == 0 {
@@ -130,38 +170,136 @@ impl Cluster {
             if before.overflow + before.overflow_mirror == 0 {
                 continue;
             }
-            // Which groups have live overflow? Ask each home server.
             let ly = meta.layout;
-            let group_bytes = ly.group_width_bytes();
-            let groups = meta.size.div_ceil(group_bytes);
+            let unit = ly.stripe_unit;
+            let hdr = ReqHeader { fh: meta.fh, layout: ly, scheme: meta.scheme };
+            let h = client.handle();
+            let groups = meta.size.div_ceil(ly.group_width_bytes());
+            let mut acc = ParityAccumulator::new(unit as usize);
             for g in 0..groups {
+                obs.inc(Ctr::CleanerGroupsScanned);
+                // 1. Ranged liveness + generation guards, per block copy.
+                let mut guards: Vec<(ServerId, bool, u64, u64, u64)> = Vec::new();
+                for b in ly.group_blocks(g) {
+                    let off = b * unit;
+                    if off >= meta.size {
+                        break;
+                    }
+                    let len = unit.min(meta.size - off);
+                    for (mirror, srv) in [(false, ly.home_server(b)), (true, ly.mirror_server(b))] {
+                        match h.send_one(srv, Request::OverflowQuery { hdr, off, len, mirror })? {
+                            Response::OverflowStatus { live_bytes, generation } => {
+                                if live_bytes > 0 {
+                                    guards.push((srv, mirror, off, len, generation));
+                                }
+                            }
+                            Response::Err(e) => return Err(e),
+                            other => {
+                                return Err(CsarError::Protocol(format!(
+                                    "expected OverflowStatus, got {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                if guards.is_empty() {
+                    continue;
+                }
+                let t0 = Instant::now();
                 let (go, glen) = ly.group_byte_range(g);
-                let live = self.group_has_overflow(&meta, g);
-                if !live {
-                    continue;
+                let rlen = glen.min(meta.size - go);
+                // 2. Locked rewrite: hold the group's parity lock across
+                // read → write → parity so locking writers and other
+                // cleaners serialize against it.
+                h.send_one(
+                    ly.parity_server(g),
+                    Request::ParityReadLock { hdr, group: g, intra: 0, len: unit },
+                )?
+                .into_payload()?;
+                let latest = file.read_payload(go, rlen)?;
+                mid_rewrite(g);
+                let mut per_server: BTreeMap<ServerId, Vec<(Span, Payload)>> = BTreeMap::new();
+                for s in ly.spans(go, rlen) {
+                    per_server
+                        .entry(ly.home_server(ly.block_of(s.logical_off)))
+                        .or_default()
+                        .push((s, latest.slice(s.logical_off - go, s.len)));
                 }
-                // Read latest contents, rewrite the whole group (clipped
-                // to EOF ranges still produce the partial tail — only
-                // rewrite groups that lie fully inside the file).
-                if go + glen > meta.size {
-                    continue;
+                let batch: Vec<(ServerId, Request)> = per_server
+                    .into_iter()
+                    .map(|(srv, spans)| {
+                        (
+                            srv,
+                            Request::WriteData {
+                                hdr,
+                                spans,
+                                // Invalidation is the separate,
+                                // generation-guarded step 3.
+                                invalidate_primary: false,
+                                invalidate_mirror_spans: vec![],
+                            },
+                        )
+                    })
+                    .collect();
+                for resp in h.send_batch(batch)? {
+                    resp.into_done()?;
                 }
-                let latest = file.read_payload(go, glen)?;
-                file.write_payload(go, latest)?;
+                // Fresh parity over the zero-extended group (a tail
+                // group's missing bytes read as zeros, so folding only
+                // the live spans is exact).
+                let parity = if latest.is_data() {
+                    acc.reset_to(unit as usize);
+                    for s in ly.spans(go, rlen) {
+                        let sl = latest.slice(s.logical_off - go, s.len);
+                        let mut off = (s.logical_off % unit) as usize;
+                        for c in sl.chunks() {
+                            acc.fold_at(off, c);
+                            off += c.len();
+                        }
+                    }
+                    Payload::from_vec(acc.current().to_vec())
+                } else {
+                    Payload::Phantom(unit)
+                };
+                h.send_one(
+                    ly.parity_server(g),
+                    Request::ParityWriteUnlock { hdr, group: g, intra: 0, payload: parity },
+                )?
+                .into_done()?;
+                // 3. Conditional reclaim.
+                let mut deferred = false;
+                for &(srv, mirror, off, len, gen) in &guards {
+                    let freed = h
+                        .send_one(
+                            srv,
+                            Request::InvalidateOverflowRange {
+                                hdr,
+                                off,
+                                len,
+                                mirror,
+                                if_generation: gen,
+                            },
+                        )?
+                        .into_done()?;
+                    if freed == 0 {
+                        deferred = true;
+                    } else if !mirror {
+                        obs.add(Ctr::CleanerBytesReclaimed, freed);
+                    }
+                }
+                obs.inc(Ctr::CleanerGroupsRewritten);
+                if deferred {
+                    obs.inc(Ctr::CleanerGroupsDeferred);
+                }
+                obs.span(SpanKind::CleanerGroup, t0, g);
             }
             file.compact_overflow()?;
             let after = file.storage_report()?.aggregate();
-            reclaimed +=
-                (before.overflow + before.overflow_mirror).saturating_sub(after.overflow + after.overflow_mirror);
+            reclaimed += (before.overflow + before.overflow_mirror)
+                .saturating_sub(after.overflow + after.overflow_mirror);
         }
+        obs.inc(Ctr::CleanerPasses);
         Ok(reclaimed)
-    }
-
-    fn group_has_overflow(&self, meta: &csar_core::manager::FileMeta, g: u64) -> bool {
-        let ly = meta.layout;
-        ly.group_blocks(g).any(|b| {
-            self.with_server(ly.home_server(b), |s| s.overflow_live_bytes(meta.fh) > 0)
-        })
     }
 
     /// Verify every parity group and mirror block of every file against
@@ -169,6 +307,7 @@ impl Cluster {
     /// quiescent cluster.
     pub fn scrub(&self) -> Result<ScrubReport, CsarError> {
         let client = self.client();
+        let t0 = Instant::now();
         let mut report = ScrubReport::default();
         for meta in client.list_files()? {
             report.files += 1;
@@ -245,6 +384,10 @@ impl Cluster {
                 _ => {}
             }
         }
+        let obs = self.obs();
+        obs.add(Ctr::ScrubGroupsChecked, report.groups_checked);
+        obs.add(Ctr::ScrubMirrorsChecked, report.mirrors_checked);
+        obs.span(SpanKind::Scrub, t0, report.groups_checked + report.mirrors_checked);
         Ok(report)
     }
 }

@@ -4,7 +4,8 @@ use crate::transport::{MgrMsg, ServerMsg};
 use csar_core::manager::Manager;
 use csar_core::proto::{Response, ServerId};
 use csar_core::server::{Effect, IoServer, ServerConfig};
-use std::collections::HashMap;
+use csar_obs::Gauge;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -29,7 +30,21 @@ pub(crate) fn run_server(
     debug_assert_eq!(shared.lock().unwrap_or_else(PoisonError::into_inner).id, id);
     let _ = cfg;
     let mut pending: HashMap<(u32, u64), Sender<(u64, Response)>> = HashMap::new();
-    while let Ok(msg) = rx.recv() {
+    // The mpsc channel has no length query, so the loop drains it
+    // greedily into a local backlog; its depth is what the queue-depth
+    // gauge reports.
+    let mut backlog: VecDeque<ServerMsg> = VecDeque::new();
+    'serve: loop {
+        if backlog.is_empty() {
+            match rx.recv() {
+                Ok(msg) => backlog.push_back(msg),
+                Err(_) => break,
+            }
+        }
+        while let Ok(msg) = rx.try_recv() {
+            backlog.push_back(msg);
+        }
+        let Some(msg) = backlog.pop_front() else { break };
         match msg {
             ServerMsg::Req { from, req_id, req, reply_to } => {
                 pending.insert((from, req_id), reply_to);
@@ -37,6 +52,8 @@ pub(crate) fn run_server(
                     // A panicked observer cannot corrupt the engine, so a
                     // poisoned lock is recovered rather than propagated.
                     let mut engine = shared.lock().unwrap_or_else(PoisonError::into_inner);
+                    // Backlog plus the request in service.
+                    engine.obs.gauge_set(Gauge::SrvQueueDepth, backlog.len() as u64 + 1);
                     engine.handle(from, req_id, req)
                 };
                 for Effect::Reply { to, req_id, resp, .. } in effects {
@@ -46,7 +63,7 @@ pub(crate) fn run_server(
                     }
                 }
             }
-            ServerMsg::Shutdown => break,
+            ServerMsg::Shutdown => break 'serve,
         }
     }
 }

@@ -58,6 +58,138 @@ fn cleaner_daemon_runs_passes_and_stops() {
     cluster.shutdown();
 }
 
+/// The cleaner must query overflow liveness *per group*, not per file:
+/// a file with one overflowed group gets exactly that group rewritten,
+/// proven by the `cleaner_groups_rewritten` counter.
+#[test]
+fn clean_pass_rewrites_only_the_overflowed_group() {
+    use csar_obs::Ctr;
+    let cluster = Cluster::spawn(4, Default::default());
+    cluster.set_metrics_enabled(true);
+    let client = cluster.client();
+    let unit = 1024u64;
+    let group = 3 * unit;
+    let f = client.create("one-dirty", Scheme::Hybrid, unit).unwrap();
+    let body: Vec<u8> = (0..8 * group).map(|i| (i % 251) as u8).collect();
+    f.write_at(0, &body).unwrap();
+    // One partial write, entirely inside group 2.
+    let off = 2 * group + 100;
+    let patch = [0xABu8; 300];
+    f.write_at(off, &patch).unwrap();
+    let mut want = body;
+    want[off as usize..off as usize + 300].copy_from_slice(&patch);
+
+    let reclaimed = cluster.clean_pass().unwrap();
+    assert!(reclaimed > 0, "the overflowed group must be reclaimed");
+    assert_eq!(
+        cluster.obs().counter(Ctr::CleanerGroupsRewritten),
+        1,
+        "exactly one group overflowed, exactly one may be rewritten"
+    );
+    assert_eq!(cluster.obs().counter(Ctr::CleanerGroupsScanned), 8, "all groups scanned");
+    let agg = f.storage_report().unwrap().aggregate();
+    assert_eq!(agg.overflow + agg.overflow_mirror, 0);
+    assert_eq!(f.read_at(0, want.len() as u64).unwrap(), want);
+    assert!(cluster.scrub().unwrap().is_clean());
+    cluster.shutdown();
+}
+
+/// Partial writes past the last whole group land in a tail group the
+/// cleaner used to skip forever. Tail overflow must converge to zero
+/// (the rewrite is clipped to EOF).
+#[test]
+fn tail_group_overflow_converges_to_zero() {
+    let cluster = Cluster::spawn(4, Default::default());
+    let client = cluster.client();
+    let unit = 1024u64;
+    let group = 3 * unit;
+    let f = client.create("ragged-tail", Scheme::Hybrid, unit).unwrap();
+    f.write_at(0, &vec![9u8; 2 * group as usize]).unwrap();
+    // Repeated unaligned tail extensions: every one overflows, and the
+    // growing tail group never reaches a group boundary.
+    let mut want = vec![9u8; 2 * group as usize];
+    for i in 0..5u64 {
+        let off = 2 * group + i * 200;
+        let patch = vec![(i + 1) as u8; 200];
+        f.write_at(off, &patch).unwrap();
+        want.extend_from_slice(&patch);
+    }
+    assert!(f.storage_report().unwrap().aggregate().overflow > 0, "tail writes must overflow");
+
+    // A correct cleaner drains the tail in one pass (nothing is racing
+    // it); allow a couple in case of spurious generation deferrals.
+    let mut live = u64::MAX;
+    for _ in 0..3 {
+        cluster.clean_pass().unwrap();
+        let agg = f.storage_report().unwrap().aggregate();
+        live = agg.overflow + agg.overflow_mirror;
+        if live == 0 {
+            break;
+        }
+    }
+    assert_eq!(live, 0, "tail-group overflow must be fully reclaimed");
+    assert_eq!(f.read_at(0, want.len() as u64).unwrap(), want);
+    assert!(cluster.scrub().unwrap().is_clean());
+    cluster.shutdown();
+}
+
+/// The §6.7 lost-update race: a writer updates a group after the
+/// cleaner has read it but before the rewrite lands. The writer's data
+/// must survive (its overflow entry outlives the generation-guarded
+/// invalidation), parity must stay consistent, and a later pass must
+/// still reclaim the deferred entries.
+#[test]
+fn cleaner_never_loses_a_concurrent_write() {
+    use csar_obs::Ctr;
+    let cluster = Cluster::spawn(4, Default::default());
+    cluster.set_metrics_enabled(true);
+    let client = cluster.client();
+    let unit = 1024u64;
+    let group = 3 * unit;
+    let f = client.create("raced", Scheme::Hybrid, unit).unwrap();
+    let body: Vec<u8> = (0..4 * group).map(|i| (i % 241) as u8).collect();
+    f.write_at(0, &body).unwrap();
+    // Overflow group 1 so the cleaner will rewrite it.
+    f.write_at(group + 50, &[0x11u8; 100]).unwrap();
+    let mut want = body;
+    want[group as usize + 50..group as usize + 150].fill(0x11);
+
+    // Interleave: once the cleaner has read group 1's latest contents
+    // (but before its rewrite lands), overwrite part of that group.
+    let racer = cluster.client();
+    let rf = racer.open("raced").unwrap();
+    let raced = std::cell::Cell::new(false);
+    cluster
+        .clean_pass_hooked(&mut |g| {
+            if g == 1 && !raced.get() {
+                raced.set(true);
+                rf.write_at(group + 200, &[0x22u8; 100]).unwrap();
+            }
+        })
+        .unwrap();
+    assert!(raced.get(), "the hook must have fired for group 1");
+    want[group as usize + 200..group as usize + 300].fill(0x22);
+
+    // The racing write must win over the cleaner's stale rewrite...
+    assert_eq!(f.read_at(0, want.len() as u64).unwrap(), want);
+    // ...because its overflow entry was spared by the generation guard.
+    let agg = f.storage_report().unwrap().aggregate();
+    assert!(agg.overflow > 0, "the racer's overflow entry must survive the pass");
+    assert!(
+        cluster.obs().counter(Ctr::CleanerGroupsDeferred) > 0,
+        "the raced group's reclaim must be deferred"
+    );
+    assert!(cluster.scrub().unwrap().is_clean(), "parity must match the in-place data");
+
+    // An undisturbed later pass drains what the race left behind.
+    cluster.clean_pass().unwrap();
+    let agg = f.storage_report().unwrap().aggregate();
+    assert_eq!(agg.overflow + agg.overflow_mirror, 0);
+    assert_eq!(f.read_at(0, want.len() as u64).unwrap(), want);
+    assert!(cluster.scrub().unwrap().is_clean());
+    cluster.shutdown();
+}
+
 #[test]
 fn scrub_detects_corruption() {
     let cluster = Cluster::spawn(4, Default::default());

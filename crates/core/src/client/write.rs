@@ -27,6 +27,7 @@ use crate::error::CsarError;
 use crate::layout::{Layout, Span};
 use crate::manager::FileMeta;
 use crate::proto::{ParityPart, ReqHeader, Request, Response, Scheme, ServerId};
+use csar_obs::Ctr;
 use csar_store::Payload;
 use std::collections::{BTreeMap, HashMap};
 
@@ -717,6 +718,26 @@ impl WriteDriver {
         }
     }
 
+    /// Plan-shape counters: whole groups vs RMW partials vs Hybrid
+    /// overflow partials, recorded once per op at `Begin`. The driver is
+    /// a handle-free state machine, so these land on the process-global
+    /// registry.
+    fn record_plan_metrics(&self) {
+        let obs = csar_obs::global();
+        if let Some((fo, flen)) = self.full {
+            let groups = self.layout().full_groups(fo, flen);
+            obs.add(Ctr::WrWholeGroups, groups.end - groups.start);
+        }
+        if !self.partials.is_empty() {
+            let ctr = if self.scheme() == Scheme::Hybrid {
+                Ctr::WrOverflowPartials
+            } else {
+                Ctr::WrRmwGroups
+            };
+            obs.add(ctr, self.partials.len() as u64);
+        }
+    }
+
     fn fail(&mut self, e: CsarError) -> Effect {
         self.finished = true;
         Effect::Done(Err(e))
@@ -737,6 +758,7 @@ impl OpDriver for WriteDriver {
                 if let Some(e) = self.planning_error.take() {
                     return vec![self.fail(e)];
                 }
+                self.record_plan_metrics();
                 match self.scheme() {
                     Scheme::Raid0 | Scheme::Raid1 => self.emit_simple(&mut effects),
                     Scheme::Hybrid => {

@@ -64,6 +64,11 @@ impl FromJson for OverflowEntry {
 pub struct OverflowTable {
     /// logical start → (len, file_off); non-overlapping.
     map: BTreeMap<u64, (u64, u64)>,
+    /// Bumped on every insert. The §6.7 cleaner reads the generation
+    /// before rewriting a group and invalidates afterwards only if it is
+    /// unchanged, so a partial write landing mid-rewrite keeps its entry
+    /// (the lost-update guard; see `Cluster::clean_pass`).
+    generation: u64,
 }
 
 impl OverflowTable {
@@ -79,8 +84,24 @@ impl OverflowTable {
         if len == 0 {
             return;
         }
+        self.generation += 1;
         self.invalidate(logical_off, len);
         self.map.insert(logical_off, (len, file_off));
+    }
+
+    /// Insert count to date. Any newer entry anywhere in the table —
+    /// even outside a queried range — advances this, which is exactly
+    /// the conservative staleness signal the cleaner's conditional
+    /// invalidation needs.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Bytes of `[logical_off, logical_off+len)` currently served from
+    /// overflow — the ranged liveness the cleaner queries per group
+    /// (backed by the same overlap walk as [`OverflowTable::lookup`]).
+    pub fn live_in_range(&self, logical_off: u64, len: u64) -> u64 {
+        self.lookup(logical_off, len).iter().map(|e| e.len).sum()
     }
 
     /// Drop coverage of `[logical_off, logical_off+len)` — a full-group
@@ -230,6 +251,30 @@ mod tests {
                 OverflowEntry { logical_off: 45, len: 5, file_off: 25 },
             ]
         );
+    }
+
+    #[test]
+    fn generation_counts_inserts_only() {
+        let mut t = OverflowTable::new();
+        assert_eq!(t.generation(), 0);
+        t.insert(0, 10, 0);
+        t.insert(100, 10, 10);
+        assert_eq!(t.generation(), 2);
+        t.invalidate(0, 200); // invalidation alone never bumps
+        assert_eq!(t.generation(), 2);
+        t.insert(0, 0, 0); // zero-length no-op
+        assert_eq!(t.generation(), 2);
+    }
+
+    #[test]
+    fn live_in_range_is_clipped() {
+        let mut t = OverflowTable::new();
+        t.insert(10, 20, 0); // [10,30)
+        t.insert(50, 10, 20); // [50,60)
+        assert_eq!(t.live_in_range(0, 100), 30);
+        assert_eq!(t.live_in_range(0, 15), 5);
+        assert_eq!(t.live_in_range(25, 30), 10);
+        assert_eq!(t.live_in_range(60, 40), 0);
     }
 
     #[test]

@@ -253,6 +253,40 @@ pub enum Request {
         /// Request header.
         hdr: ReqHeader,
     },
+    /// Ranged overflow liveness probe: how many bytes of
+    /// `[off, off+len)` are currently served from the overflow log, and
+    /// the table's insert generation. The cleaner uses the range to
+    /// target only dirty groups and the generation to make its later
+    /// invalidation conditional (lost-update guard).
+    OverflowQuery {
+        /// Request header.
+        hdr: ReqHeader,
+        /// Logical start of the probed range.
+        off: u64,
+        /// Length of the probed range.
+        len: u64,
+        /// Probe the overflow-mirror table instead of the primary table.
+        mirror: bool,
+    },
+    /// Conditionally drop overflow coverage of `[off, off+len)`: applied
+    /// only if the table's generation still equals `if_generation`
+    /// (i.e. no partial write landed since the matching
+    /// [`Request::OverflowQuery`]); otherwise a no-op reporting 0 bytes.
+    InvalidateOverflowRange {
+        /// Request header.
+        hdr: ReqHeader,
+        /// Logical start of the range to invalidate.
+        off: u64,
+        /// Length of the range to invalidate.
+        len: u64,
+        /// Target the overflow-mirror table instead of the primary table.
+        mirror: bool,
+        /// Expected table generation; mismatch defers the invalidation.
+        if_generation: u64,
+    },
+    /// Scrape this server's metrics registry (the observability layer's
+    /// protocol surface — any client can pull a [`csar_obs::Snapshot`]).
+    GetStats,
     /// Wipe the server (simulates replacing a failed disk, before rebuild).
     Wipe,
 }
@@ -285,6 +319,18 @@ pub enum Response {
     Usage {
         /// Per-stream byte counts.
         usage: StreamUsage,
+    },
+    /// Ranged overflow liveness (reply to [`Request::OverflowQuery`]).
+    OverflowStatus {
+        /// Live overflow bytes inside the probed range.
+        live_bytes: u64,
+        /// The table's insert generation at probe time.
+        generation: u64,
+    },
+    /// Metrics snapshot (reply to [`Request::GetStats`]).
+    Stats {
+        /// The server's frozen metrics registry.
+        snapshot: csar_obs::Snapshot,
     },
     /// Failure.
     Err(CsarError),

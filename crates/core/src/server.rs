@@ -15,6 +15,7 @@ use crate::layout::Span;
 use crate::locks::{Acquire, ParityLockTable};
 use crate::overflow::OverflowTable;
 use crate::proto::{ClientId, DiskCost, ReqHeader, Request, Response, ServerId};
+use csar_obs::{Ctr, Gauge, MetricsRegistry};
 use csar_store::{
     CacheModel, FromJson, Json, JsonError, LocalStore, Payload, StoreImage, StreamKind, ToJson,
     WriteBuffer,
@@ -228,6 +229,9 @@ pub struct IoServer {
     overflow_slots: HashMap<(u64, bool, u64), u64>,
     /// Cumulative statistics.
     pub stats: ServerStats,
+    /// Per-server metrics registry; `GetStats` freezes it into the
+    /// [`csar_obs::Snapshot`] any client can scrape.
+    pub obs: MetricsRegistry,
 }
 
 impl IoServer {
@@ -245,6 +249,7 @@ impl IoServer {
             overflow_mirror: HashMap::new(),
             overflow_slots: HashMap::new(),
             stats: ServerStats::default(),
+            obs: MetricsRegistry::new(),
         }
     }
 
@@ -266,6 +271,14 @@ impl IoServer {
     /// Live overflow bytes for a file (primary table).
     pub fn overflow_live_bytes(&self, fh: u64) -> u64 {
         self.overflow.get(&fh).map(OverflowTable::live_bytes).unwrap_or(0)
+    }
+
+    /// Live overflow bytes within `[off, off+len)` of a file — the
+    /// ranged liveness query the §6.7 cleaner issues per parity group
+    /// (`mirror` selects the mirror table).
+    pub fn overflow_live_in_range(&self, fh: u64, off: u64, len: u64, mirror: bool) -> u64 {
+        let table = if mirror { &self.overflow_mirror } else { &self.overflow };
+        table.get(&fh).map(|t| t.live_in_range(off, len)).unwrap_or(0)
     }
 
     /// Snapshot the server's durable state.
@@ -321,6 +334,7 @@ impl IoServer {
     /// later `ParityWriteUnlock` will produce its reply.
     pub fn handle(&mut self, from: ClientId, req_id: u64, req: Request) -> Vec<Effect> {
         self.stats.requests += 1;
+        self.obs.inc(Ctr::SrvRequests);
         let mut effects = Vec::with_capacity(1);
         match self.dispatch(from, req_id, req, &mut effects) {
             Ok(()) => {}
@@ -331,6 +345,7 @@ impl IoServer {
 
     fn reply(&mut self, to: ClientId, req_id: u64, resp: Response, cost: DiskCost) -> Effect {
         self.stats.replies += 1;
+        self.obs.inc(Ctr::SrvReplies);
         self.stats.disk.merge(&cost);
         Effect::Reply { to, req_id, resp, cost }
     }
@@ -372,6 +387,7 @@ impl IoServer {
                         .invalidate(span.logical_off, span.len);
                 }
                 self.stats.bytes_stored += bytes;
+                self.obs.add(Ctr::SrvDataBytes, bytes);
                 effects.push(self.reply(from, req_id, Response::Done { bytes }, cost));
             }
 
@@ -388,6 +404,7 @@ impl IoServer {
                     bytes += len;
                 }
                 self.stats.bytes_stored += bytes;
+                self.obs.add(Ctr::SrvMirrorBytes, bytes);
                 effects.push(self.reply(from, req_id, Response::Done { bytes }, cost));
             }
 
@@ -408,6 +425,7 @@ impl IoServer {
                         .invalidate(span.logical_off, span.len);
                 }
                 self.stats.bytes_stored += bytes;
+                self.obs.add(Ctr::SrvParityBytes, bytes);
                 effects.push(self.reply(from, req_id, Response::Done { bytes }, cost));
             }
 
@@ -421,6 +439,7 @@ impl IoServer {
                 // the read. Queued requests produce no effect now.
                 self.map_parity(&hdr, group, intra)?; // validate before parking
                 let parked = Parked { from, req_id, hdr, group, intra, len };
+                self.obs.inc(Ctr::SrvLockAcquisitions);
                 match self.locks.acquire((hdr.fh, group), parked) {
                     Acquire::Granted => {
                         let (resp, cost) = self.do_parity_read(&hdr, group, intra, len)?;
@@ -428,6 +447,8 @@ impl IoServer {
                     }
                     Acquire::Queued => {
                         self.stats.parked += 1;
+                        self.obs.inc(Ctr::SrvLockContended);
+                        self.obs.gauge_add(Gauge::SrvParkedWaiters, 1);
                     }
                 }
             }
@@ -438,10 +459,12 @@ impl IoServer {
                 let cost = self.classify_write(hdr.fh, StreamKind::Parity, local, len);
                 self.store.write(hdr.fh, StreamKind::Parity, local, payload);
                 self.stats.bytes_stored += len;
+                self.obs.add(Ctr::SrvParityBytes, len);
                 effects.push(self.reply(from, req_id, Response::Done { bytes: len }, cost));
                 // Release; a woken waiter keeps the lock and gets its read
                 // served now.
                 if let Some(next) = self.locks.release((hdr.fh, group)) {
+                    self.obs.gauge_sub(Gauge::SrvParkedWaiters, 1);
                     let (resp, cost) =
                         self.do_parity_read(&next.hdr, next.group, next.intra, next.len)?;
                     effects.push(self.reply(next.from, next.req_id, resp, cost));
@@ -472,9 +495,11 @@ impl IoServer {
                         .map(|t| t.lookup(span.logical_off, span.len))
                         .unwrap_or_default();
                     if entries.is_empty() {
+                        self.obs.inc(Ctr::SrvOverflowMisses);
                         parts.push(base);
                         continue;
                     }
+                    self.obs.inc(Ctr::SrvOverflowHits);
                     let mut segs = Vec::with_capacity(entries.len() * 2 + 1);
                     let mut cursor = span.logical_off;
                     for e in entries {
@@ -567,6 +592,7 @@ impl IoServer {
                     bytes += len;
                 }
                 self.stats.bytes_stored += bytes;
+                self.obs.add(Ctr::SrvOverflowBytes, bytes);
                 effects.push(self.reply(from, req_id, Response::Done { bytes }, cost));
             }
 
@@ -607,6 +633,44 @@ impl IoServer {
             Request::CompactOverflow { hdr } => {
                 let cost = self.compact_overflow(hdr.fh);
                 effects.push(self.reply(from, req_id, Response::Done { bytes: 0 }, cost));
+            }
+
+            Request::OverflowQuery { hdr, off, len, mirror } => {
+                let table = if mirror { &self.overflow_mirror } else { &self.overflow };
+                let (live_bytes, generation) = table
+                    .get(&hdr.fh)
+                    .map(|t| (t.live_in_range(off, len), t.generation()))
+                    .unwrap_or((0, 0));
+                effects.push(self.reply(
+                    from,
+                    req_id,
+                    Response::OverflowStatus { live_bytes, generation },
+                    DiskCost::default(),
+                ));
+            }
+
+            Request::InvalidateOverflowRange { hdr, off, len, mirror, if_generation } => {
+                // The cleaner's conditional reclaim: drop coverage only if
+                // no writer inserted since the generation was sampled —
+                // otherwise the newer overflow entries must keep masking
+                // the cleaner's stale in-place rewrite (§6.7 lost-update
+                // guard), and reclaim waits for the next pass.
+                let table = if mirror { &mut self.overflow_mirror } else { &mut self.overflow };
+                let mut bytes = 0;
+                if let Some(t) = table.get_mut(&hdr.fh) {
+                    if t.generation() == if_generation {
+                        bytes = t.live_in_range(off, len);
+                        t.invalidate(off, len);
+                    } else {
+                        self.obs.inc(Ctr::SrvInvalidationsDeferred);
+                    }
+                }
+                effects.push(self.reply(from, req_id, Response::Done { bytes }, DiskCost::default()));
+            }
+
+            Request::GetStats => {
+                let snapshot = self.obs.snapshot();
+                effects.push(self.reply(from, req_id, Response::Stats { snapshot }, DiskCost::default()));
             }
 
             Request::Wipe => {

@@ -169,6 +169,158 @@ fn shuffled_writes_match_in_order_state_for_all_schemes() {
     }
 }
 
+/// The engine-side accounting invariant, checked under shuffled
+/// delivery: every transmitted request ends in exactly one of
+/// delivered, retried-abandoned, timed-out or abandoned — no matter
+/// what order completions land in. The executor here plays the
+/// engine's role: it counts a request at Send, a delivery when the
+/// reply reaches the driver, and an abandonment for any reply still
+/// queued when the op reports Done.
+#[test]
+fn completion_accounting_balances_in_any_order() {
+    use csar_obs::{Ctr, MetricsRegistry};
+    const SERVERS: u32 = 5;
+    const UNIT: u64 = 16;
+    let group = (SERVERS as u64 - 1) * UNIT;
+    for scheme in SCHEMES {
+        for seed in 0..8u64 {
+            let obs = MetricsRegistry::new();
+            let m = meta(scheme, SERVERS, UNIT);
+            let mut rng = SplitMix64::new(0xBA1A_0000 + seed * 131 + scheme as u64);
+            let mut c = Cluster::new(SERVERS);
+            c.write_in_order(&m, 0, &pattern(3 * group as usize, 7));
+
+            let data = pattern(group as usize + UNIT as usize + 5, 91);
+            let mut d = WriteDriver::new(&m, UNIT / 2, Payload::from_vec(data));
+            let mut ready: Vec<Completion> = Vec::new();
+            let mut effects = d.poll(Completion::Begin);
+            loop {
+                let mut done = None;
+                for e in effects.drain(..) {
+                    match e {
+                        Effect::Send { token, srv, req } => {
+                            obs.inc(Ctr::EngIssued);
+                            let resp = c.exchange(srv, req);
+                            ready.push(Completion::Reply { token, resp });
+                        }
+                        Effect::Compute { token, .. } => {
+                            ready.push(Completion::ComputeDone { token })
+                        }
+                        Effect::Done(r) => done = Some(r),
+                    }
+                }
+                if let Some(r) = done {
+                    r.unwrap();
+                    for cpl in ready.drain(..) {
+                        if matches!(cpl, Completion::Reply { .. }) {
+                            obs.inc(Ctr::EngAbandoned);
+                        }
+                        assert!(d.poll(cpl).is_empty(), "late completion produced effects");
+                    }
+                    break;
+                }
+                let i = rng.gen_usize(0..ready.len());
+                let cpl = ready.swap_remove(i);
+                if matches!(cpl, Completion::Reply { .. }) {
+                    obs.inc(Ctr::EngDelivered);
+                }
+                effects = d.poll(cpl);
+            }
+            let snap = obs.snapshot();
+            assert!(snap.counter(Ctr::EngIssued.name()) > 0, "{scheme:?}: nothing issued");
+            assert!(
+                snap.engine_balanced(),
+                "{scheme:?} seed {seed}: accounting unbalanced: {:?}",
+                snap.counters
+            );
+        }
+    }
+}
+
+/// When an op fails with replies still in flight, those replies are
+/// abandoned (the threaded engine counts them on drop) — and the
+/// balance invariant must still hold, with a nonzero abandoned leg.
+#[test]
+fn failed_op_abandons_inflight_replies_and_still_balances() {
+    use csar_obs::{Ctr, MetricsRegistry};
+    const SERVERS: u32 = 4;
+    const UNIT: u64 = 16;
+    let m = meta(Scheme::Raid5, SERVERS, UNIT);
+    let total = 2 * 3 * UNIT;
+    let mut c = Cluster::new(SERVERS);
+    c.write_in_order(&m, 0, &pattern(total as usize, 13));
+    c.down[1] = true;
+
+    let obs = MetricsRegistry::new();
+    let mut d = ReadDriver::new(&m, 0, total, None);
+    let mut ready: Vec<Completion> = Vec::new();
+    let mut effects = d.poll(Completion::Begin);
+    let mut result = None;
+    loop {
+        for e in effects.drain(..) {
+            match e {
+                Effect::Send { token, srv, req } => {
+                    obs.inc(Ctr::EngIssued);
+                    let resp = c.exchange(srv, req);
+                    ready.push(Completion::Reply { token, resp });
+                }
+                Effect::Compute { token, .. } => ready.push(Completion::ComputeDone { token }),
+                Effect::Done(r) => result = Some(r),
+            }
+        }
+        if result.is_some() {
+            break;
+        }
+        // Deliver the dead server's error as soon as it is queued, so
+        // the op fails while healthy replies are still in flight.
+        let i = ready
+            .iter()
+            .position(|cpl| {
+                matches!(cpl, Completion::Reply { resp: Response::Err(_), .. })
+            })
+            .unwrap_or(0);
+        let cpl = ready.remove(i);
+        if matches!(cpl, Completion::Reply { .. }) {
+            obs.inc(Ctr::EngDelivered);
+        }
+        effects = d.poll(cpl);
+    }
+    assert!(result.unwrap().is_err(), "reading through a down server must fail");
+    let leftover =
+        ready.iter().filter(|cpl| matches!(cpl, Completion::Reply { .. })).count() as u64;
+    assert!(leftover > 0, "some replies must still be in flight at failure");
+    obs.add(Ctr::EngAbandoned, leftover);
+    for cpl in ready.drain(..) {
+        assert!(d.poll(cpl).is_empty(), "late completion after failure produced effects");
+    }
+    let snap = obs.snapshot();
+    assert!(snap.counter(Ctr::EngAbandoned.name()) > 0);
+    assert!(snap.engine_balanced(), "accounting unbalanced: {:?}", snap.counters);
+}
+
+/// `GetStats` returns the server's live registry, and the snapshot
+/// survives a JSON round-trip bit-for-bit — the contract the `stats`
+/// scrape tool relies on.
+#[test]
+fn get_stats_round_trips_a_server_snapshot() {
+    use csar_store::{FromJson, Json, ToJson};
+    const SERVERS: u32 = 4;
+    const UNIT: u64 = 16;
+    let m = meta(Scheme::Raid5, SERVERS, UNIT);
+    let mut c = Cluster::new(SERVERS);
+    c.write_in_order(&m, 0, &pattern(3 * 3 * UNIT as usize, 5));
+
+    let resp = c.exchange(0, Request::GetStats);
+    let Response::Stats { snapshot } = resp else { panic!("expected Stats, got {resp:?}") };
+    assert!(snapshot.counter("srv_requests") > 0, "the write must have been counted");
+    assert!(snapshot.counter("srv_data_bytes") > 0, "data bytes must have been counted");
+
+    let body = snapshot.to_json().to_pretty();
+    let parsed = Json::parse(&body).expect("snapshot JSON parses");
+    let back = csar_obs::Snapshot::from_json(&parsed).expect("snapshot JSON decodes");
+    assert_eq!(back, snapshot, "snapshot must survive a JSON round-trip");
+}
+
 /// A reply that arrives after its server has been marked down: the op
 /// in flight fails with `ServerDown` only once that reply is finally
 /// delivered (every other completion lands first), late completions

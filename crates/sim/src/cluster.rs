@@ -383,6 +383,26 @@ impl SimCluster {
             .fold((0, 0), |(c, a), (c2, a2)| (c + c2, a + a2))
     }
 
+    /// Enable or disable metric recording on every simulated server
+    /// engine and on the process-global client-driver registry. Off is
+    /// the ablation baseline for the observability-overhead bench.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        for s in &mut self.servers {
+            s.obs.set_enabled(on);
+        }
+        csar_obs::global().set_enabled(on);
+    }
+
+    /// Merged metrics snapshot: every server's registry plus the
+    /// process-global client-driver registry.
+    pub fn metrics_snapshot(&self) -> csar_obs::Snapshot {
+        let mut merged = csar_obs::global().snapshot();
+        for s in &self.servers {
+            merged.merge(&s.obs.snapshot());
+        }
+        merged
+    }
+
     /// Sum of per-server disk statistics.
     pub fn disk_totals(&self) -> csar_core::DiskCost {
         let mut total = csar_core::DiskCost::default();
