@@ -16,7 +16,7 @@ use std::hint::black_box;
 /// Build one server with `entries` fragmented overflow extents.
 fn fragmented_server(entries: u64) -> (IoServer, ReqHeader) {
     let unit = 4096u64;
-    let hdr = ReqHeader { fh: 1, layout: Layout::new(3, unit), scheme: Scheme::Hybrid };
+    let hdr = ReqHeader::new(1, Layout::new(3, unit), Scheme::Hybrid);
     let mut s = IoServer::new(0, ServerConfig::default());
     // Overwrite distinct sub-ranges of blocks homed on server 0 (blocks
     // 0, 3, 6, … with 3 servers), twice each, to create dead log space.

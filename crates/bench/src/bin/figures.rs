@@ -139,6 +139,8 @@ fn main() {
             bench_datapath(&path, scale);
         } else if path.contains("obs") {
             bench_obs(&path, scale);
+        } else if path.contains("trace") {
+            bench_trace(&path, scale);
         } else {
             bench_pipeline(&path);
         }
@@ -398,6 +400,120 @@ fn bench_obs(path: &str, scale: f64) {
         std::process::exit(1);
     });
     println!("\nwrote observability ablation to {path}");
+}
+
+/// The causal-tracing ablation (`BENCH_trace.json`, DESIGN.md §15):
+/// tracing-on vs tracing-off wall-clock on the RAID5 whole-group and
+/// Hybrid partial-write paths (metrics on on both sides, so the off
+/// baseline is the PR-4 `BENCH_obs` configuration), allocation audits
+/// of the span-recording hot path in both modes, and a Chrome
+/// `trace_event` export round-tripped through the exporter's own
+/// parser.
+fn bench_trace(path: &str, scale: f64) {
+    use csar_bench::{chrome_trace, trace_overhead};
+
+    header("Span recording hot path: heap allocations per recorded span");
+    let audit_off = trace_overhead::trace_record_alloc_audit(4096, false);
+    let audit_on = trace_overhead::trace_record_alloc_audit(4096, true);
+    for (mode, a) in [("tracing off", &audit_off), ("tracing  on", &audit_on)] {
+        println!(
+            "{mode}: {} recorded spans: warmup {} allocs, steady {} allocs",
+            a.ops, a.warmup_allocs, a.steady_allocs
+        );
+    }
+
+    header("Tracing-on vs tracing-off (sim wall-clock, real payloads, metrics on)");
+    let grid = trace_overhead::compare_tracing(scale);
+    println!(
+        "{:>24} {:>14} {:>14} {:>10} {:>9}",
+        "case", "off ns", "on ns", "spans", "overhead"
+    );
+    let cases: Vec<Json> = grid
+        .iter()
+        .map(|c| {
+            println!(
+                "{:>24} {:>14} {:>14} {:>10} {:>8.2}%",
+                c.case.label(),
+                c.off.wall_ns,
+                c.on.wall_ns,
+                c.spans_on,
+                c.overhead_pct(),
+            );
+            Json::obj([
+                ("case", Json::from(c.case.label())),
+                ("off_wall_ns", Json::from(c.off.wall_ns)),
+                ("on_wall_ns", Json::from(c.on.wall_ns)),
+                ("off_wall_mbps", Json::from(c.off.wall_write_mbps())),
+                ("on_wall_mbps", Json::from(c.on.wall_write_mbps())),
+                ("bytes_written", Json::from(c.on.virt.bytes_written)),
+                ("virtual_ns", Json::from(c.on.virt.duration_ns)),
+                ("overhead_pct", Json::from(c.overhead_pct())),
+                (
+                    "round_overheads_pct",
+                    Json::Arr(c.round_overheads_pct.iter().map(|&r| Json::from(r)).collect()),
+                ),
+                ("spans_on", Json::from(c.spans_on)),
+                (
+                    "phase_counts",
+                    Json::Obj(
+                        c.phase_counts
+                            .iter()
+                            .map(|&(p, n)| (p.to_string(), Json::from(n)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+
+    header("Chrome trace_event export round-trip");
+    let sample = trace_overhead::sample_traced_spans(scale.min(0.25));
+    let (spans, clamped) = chrome_trace::clamp_into_parents(&sample);
+    let report = chrome_trace::validate_nesting(&spans).unwrap_or_else(|e| {
+        eprintln!("error: causal nesting violated: {e}");
+        std::process::exit(1);
+    });
+    let chrome = chrome_trace::to_chrome_json(&spans).to_pretty();
+    let roundtrip_ok = chrome_trace::parse_chrome_json(&chrome).as_deref() == Ok(&spans[..]);
+    if !roundtrip_ok {
+        eprintln!("error: Chrome export did not round-trip through its own parser");
+        std::process::exit(1);
+    }
+    println!(
+        "{} spans, {} trees, max depth {}, {} clamped; round-trip ok",
+        report.spans, report.trees, report.max_depth, clamped
+    );
+
+    let audit_json = |a: &csar_bench::obs::ObsAllocAudit| {
+        Json::obj([
+            ("ops", Json::from(a.ops)),
+            ("warmup_allocs", Json::from(a.warmup_allocs)),
+            ("steady_allocs", Json::from(a.steady_allocs)),
+        ])
+    };
+    let body = Json::obj([
+        (
+            "trace_alloc_audit",
+            Json::obj([("off", audit_json(&audit_off)), ("on", audit_json(&audit_on))]),
+        ),
+        ("cases", Json::Arr(cases)),
+        (
+            "chrome_roundtrip",
+            Json::obj([
+                ("spans", Json::from(report.spans as u64)),
+                ("trees", Json::from(report.trees as u64)),
+                ("max_depth", Json::from(report.max_depth as u64)),
+                ("clamped", Json::from(clamped as u64)),
+                ("roundtrip_ok", Json::from(roundtrip_ok)),
+            ]),
+        ),
+    ])
+    .to_pretty();
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote tracing ablation to {path}");
 }
 
 fn header(title: &str) {

@@ -1,16 +1,22 @@
 //! `stats` — run a small mixed workload on a threaded cluster, scrape
 //! every node's metrics registry through the `GetStats` protocol
-//! request, and pretty-print the merged cluster-wide snapshot.
+//! request, and report the merged cluster-wide snapshot.
 //!
 //! ```text
-//! stats [servers]
+//! stats [servers] [--json-out PATH] [--table]
 //! ```
+//!
+//! By default the snapshot is printed as pretty JSON on stdout.
+//! `--table` prints a human-readable table instead (counters, gauges
+//! and histogram summaries); `--json-out PATH` additionally writes the
+//! JSON document to `PATH` so scripts (see `scripts/tier1.sh`) can
+//! assert on a file regardless of the display mode.
 //!
 //! Exits nonzero if the snapshot fails to round-trip through its JSON
 //! encoding or the engine-side balance invariant
 //! (`eng_issued == eng_delivered + eng_retried_abandoned + eng_timeouts
 //! + eng_abandoned`) does not hold — which makes the binary usable as a
-//! live-cluster metrics smoke test (see `scripts/tier1.sh`).
+//! live-cluster metrics smoke test.
 
 use csar_cluster::Cluster;
 use csar_core::proto::Scheme;
@@ -18,11 +24,64 @@ use csar_core::server::ServerConfig;
 use csar_obs::Snapshot;
 use csar_store::{FromJson, Json, ToJson};
 
+/// Render the snapshot as aligned name/value tables.
+fn render_table(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let push = |out: &mut String, line: String| {
+        out.push_str(&line);
+        out.push('\n');
+    };
+    push(&mut out, format!("{:<28} {:>14}", "counter", "value"));
+    for (name, v) in &snap.counters {
+        push(&mut out, format!("{name:<28} {v:>14}"));
+    }
+    if !snap.gauges.is_empty() {
+        push(&mut out, format!("\n{:<28} {:>14}", "gauge", "level"));
+        for (name, v) in &snap.gauges {
+            push(&mut out, format!("{name:<28} {v:>14}"));
+        }
+    }
+    if !snap.hists.is_empty() {
+        push(
+            &mut out,
+            format!("\n{:<28} {:>10} {:>14} {:>14}", "histogram", "count", "mean", "max-bucket"),
+        );
+        for h in &snap.hists {
+            push(
+                &mut out,
+                format!(
+                    "{:<28} {:>10} {:>14.1} {:>14}",
+                    h.name,
+                    h.count,
+                    h.mean(),
+                    h.max_bucket_bound()
+                ),
+            );
+        }
+    }
+    push(&mut out, format!("\nspan events: {}; trace spans: {}", snap.spans.len(), snap.traces.len()));
+    out
+}
+
 fn main() {
-    let servers: u32 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().unwrap_or_else(|_| usage(&s)))
-        .unwrap_or(6);
+    let mut servers: u32 = 6;
+    let mut json_out: Option<String> = None;
+    let mut table = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json-out" => {
+                json_out =
+                    Some(it.next().cloned().unwrap_or_else(|| usage("missing path for --json-out")));
+            }
+            "--table" => table = true,
+            p if !p.starts_with('-') => {
+                servers = p.parse().unwrap_or_else(|_| usage(&format!("bad server count {p:?}")));
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
 
     let cluster = Cluster::spawn(servers, ServerConfig::default());
     cluster.set_metrics_enabled(true);
@@ -46,9 +105,17 @@ fn main() {
 
     let snap = cluster.metrics_snapshot().expect("metrics scrape");
     let body = snap.to_json().to_pretty();
-    println!("{body}");
+    if table {
+        print!("{}", render_table(&snap));
+    } else {
+        println!("{body}");
+    }
+    if let Some(path) = &json_out {
+        std::fs::write(path, &body).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("wrote snapshot JSON to {path}");
+    }
 
-    // Self-checks: the printed document must parse back to the same
+    // Self-checks: the JSON document must parse back to the same
     // snapshot, and the engine balance invariant must hold.
     let parsed = Json::parse(&body).unwrap_or_else(|e| die(&format!("snapshot JSON does not parse: {e}")));
     let back = Snapshot::from_json(&parsed)
@@ -70,9 +137,9 @@ fn main() {
     cluster.shutdown();
 }
 
-fn usage(arg: &str) -> ! {
-    eprintln!("error: bad server count {arg:?}");
-    eprintln!("usage: stats [servers]");
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: stats [servers] [--json-out PATH] [--table]");
     std::process::exit(2);
 }
 

@@ -1,0 +1,245 @@
+//! Chrome `trace_event` export of causal traces (DESIGN.md §15).
+//!
+//! [`to_chrome_json`] renders a flat batch of [`TraceSpan`] records as
+//! the Chrome trace-event format — an object with a `traceEvents`
+//! array of complete (`"ph": "X"`) events — loadable directly in
+//! `chrome://tracing` or Perfetto. Each trace (= one client op) becomes
+//! one `tid` row, so an op's phases stack under its root and concurrent
+//! ops land on separate rows.
+//!
+//! Viewer timestamps are microseconds (floats), which cannot represent
+//! every nanosecond exactly; the exact `start_ns`/`dur_ns` therefore
+//! also ride in each event's `args`, and [`parse_chrome_json`] reads
+//! them back so the export round-trips losslessly through this module's
+//! own parser (the PR's acceptance check).
+//!
+//! [`validate_nesting`] checks the causal invariant — every child span
+//! lies inside its parent's interval — and [`clamp_into_parents`]
+//! repairs sub-interval skew first. On the simulator's virtual clock
+//! the clamp is a no-op (0 spans touched); on a live cluster all
+//! threads share one monotonic epoch, so any clamping indicates a torn
+//! or reset-clamped record rather than cross-clock drift.
+
+use csar_obs::trace::{build_trees, SpanId, TraceId, TraceNode, TraceSpan};
+use csar_store::{FromJson, Json, JsonError};
+use std::collections::HashMap;
+
+/// Render spans as a Chrome trace-event JSON document.
+///
+/// `ts`/`dur` are microseconds since the recorder's epoch (what the
+/// viewer displays); `args` keeps the exact nanosecond fields plus the
+/// trace/span/parent IDs and the phase's auxiliary value.
+pub fn to_chrome_json(spans: &[TraceSpan]) -> Json {
+    let events: Vec<Json> = spans
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("name", Json::from(s.phase.name())),
+                ("cat", Json::from("csar")),
+                ("ph", Json::from("X")),
+                ("ts", Json::from(s.start_ns as f64 / 1000.0)),
+                ("dur", Json::from(s.dur_ns as f64 / 1000.0)),
+                ("pid", Json::from(1u64)),
+                ("tid", Json::from(s.trace.0)),
+                (
+                    "args",
+                    Json::obj([
+                        ("trace", Json::from(s.trace.0)),
+                        ("span", Json::from(s.span.0)),
+                        ("parent", Json::from(s.parent.0)),
+                        ("start_ns", Json::from(s.start_ns)),
+                        ("dur_ns", Json::from(s.dur_ns)),
+                        ("aux", Json::from(s.aux)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("displayTimeUnit", Json::from("ms")),
+        ("traceEvents", Json::Arr(events)),
+    ])
+}
+
+/// Parse a document produced by [`to_chrome_json`] back into spans.
+///
+/// Reads the exact nanosecond fields from each event's `args`, so
+/// `parse_chrome_json(&to_chrome_json(spans).to_pretty())` returns
+/// `spans` bit-for-bit (in event order).
+pub fn parse_chrome_json(body: &str) -> Result<Vec<TraceSpan>, JsonError> {
+    let doc = Json::parse(body)?;
+    let events = doc
+        .field("traceEvents")?
+        .as_array()
+        .ok_or_else(|| JsonError("traceEvents is not an array".into()))?;
+    events
+        .iter()
+        .map(|ev| {
+            let phase = ev.field("name")?;
+            let args = ev.field("args")?;
+            // Rebuild the span-shaped object FromJson expects.
+            let span = Json::obj([
+                ("trace", Json::U64(args.u64_field("trace")?)),
+                ("span", Json::U64(args.u64_field("span")?)),
+                ("parent", Json::U64(args.u64_field("parent")?)),
+                ("phase", phase.clone()),
+                ("start_ns", Json::U64(args.u64_field("start_ns")?)),
+                ("dur_ns", Json::U64(args.u64_field("dur_ns")?)),
+                ("aux", Json::U64(args.u64_field("aux")?)),
+            ]);
+            TraceSpan::from_json(&span)
+        })
+        .collect()
+}
+
+/// Clamp every span's interval into its parent's, returning the
+/// repaired spans (input order preserved) and how many were touched.
+///
+/// Parents are clamped before their children (tree order), so a whole
+/// skewed subtree collapses into its transitive ancestor's bounds.
+/// Spans whose parent is absent from the batch are left untouched.
+pub fn clamp_into_parents(spans: &[TraceSpan]) -> (Vec<TraceSpan>, usize) {
+    fn walk(
+        node: &TraceNode,
+        bound: Option<(u64, u64)>,
+        fixed: &mut HashMap<(TraceId, SpanId), TraceSpan>,
+        clamped: &mut usize,
+    ) {
+        let mut s = node.span;
+        if let Some((lo, hi)) = bound {
+            let start = s.start_ns.clamp(lo, hi);
+            let end = s.end_ns().clamp(start, hi);
+            if start != s.start_ns || end != s.end_ns() {
+                *clamped += 1;
+            }
+            s.start_ns = start;
+            s.dur_ns = end - start;
+        }
+        fixed.insert((s.trace, s.span), s);
+        for c in &node.children {
+            walk(c, Some((s.start_ns, s.end_ns())), fixed, clamped);
+        }
+    }
+    let mut fixed = HashMap::new();
+    let mut clamped = 0;
+    for tree in build_trees(spans) {
+        walk(&tree, None, &mut fixed, &mut clamped);
+    }
+    let out = spans.iter().map(|s| fixed[&(s.trace, s.span)]).collect();
+    (out, clamped)
+}
+
+/// What [`validate_nesting`] certifies about a span batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NestingReport {
+    /// Spans checked.
+    pub spans: usize,
+    /// Causal trees they assemble into (one per op, plus partial trees
+    /// for orphaned spans).
+    pub trees: usize,
+    /// Deepest parent chain seen (an op root is depth 1).
+    pub max_depth: usize,
+}
+
+/// Check the causal invariant: every span starts no earlier and ends
+/// no later than its parent. The first violation is returned as an
+/// error naming both spans.
+pub fn validate_nesting(spans: &[TraceSpan]) -> Result<NestingReport, String> {
+    fn walk(node: &TraceNode, depth: usize, max_depth: &mut usize) -> Result<(), String> {
+        *max_depth = (*max_depth).max(depth);
+        let p = &node.span;
+        for c in &node.children {
+            let s = &c.span;
+            if s.start_ns < p.start_ns || s.end_ns() > p.end_ns() {
+                return Err(format!(
+                    "span {}/{} ({}) [{}, {}) escapes parent {} ({}) [{}, {})",
+                    s.trace.0,
+                    s.span.0,
+                    s.phase.name(),
+                    s.start_ns,
+                    s.end_ns(),
+                    p.span.0,
+                    p.phase.name(),
+                    p.start_ns,
+                    p.end_ns(),
+                ));
+            }
+            walk(c, depth + 1, max_depth)?;
+        }
+        Ok(())
+    }
+    let trees = build_trees(spans);
+    let mut max_depth = 0;
+    for t in &trees {
+        walk(t, 1, &mut max_depth)?;
+    }
+    Ok(NestingReport { spans: spans.len(), trees: trees.len(), max_depth })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csar_obs::trace::Phase;
+
+    fn sp(trace: u64, span: u64, parent: u64, phase: Phase, start: u64, dur: u64) -> TraceSpan {
+        TraceSpan {
+            trace: TraceId(trace),
+            span: SpanId(span),
+            parent: SpanId(parent),
+            phase,
+            start_ns: start,
+            dur_ns: dur,
+            aux: trace,
+        }
+    }
+
+    fn sample() -> Vec<TraceSpan> {
+        vec![
+            sp(1, 1, 0, Phase::Op, 0, 1_000_003),
+            sp(1, 2, 1, Phase::WireRtt, 500, 900_000),
+            sp(1, 3, 2, Phase::Service, 700, 600_001),
+            sp(2, 9, 0, Phase::Op, 40, 77),
+        ]
+    }
+
+    /// The acceptance criterion: the export round-trips bit-for-bit
+    /// through this module's own parser, including odd nanosecond
+    /// values a microsecond float would truncate.
+    #[test]
+    fn chrome_export_round_trips_exactly() {
+        let spans = sample();
+        let body = to_chrome_json(&spans).to_pretty();
+        assert!(body.contains("traceEvents"));
+        assert!(body.contains("\"ph\": \"X\"") || body.contains("\"ph\":\"X\""));
+        let back = parse_chrome_json(&body).expect("own output must parse");
+        assert_eq!(back, spans);
+    }
+
+    #[test]
+    fn nesting_validates_and_reports_depth() {
+        let rep = validate_nesting(&sample()).expect("sample nests");
+        assert_eq!(rep, NestingReport { spans: 4, trees: 2, max_depth: 3 });
+    }
+
+    #[test]
+    fn nesting_violation_is_reported() {
+        let mut spans = sample();
+        spans[2].dur_ns = u64::MAX; // service now outlives its rtt
+        let err = validate_nesting(&spans).unwrap_err();
+        assert!(err.contains("service"), "error names the escaping span: {err}");
+    }
+
+    #[test]
+    fn clamp_repairs_skew_and_is_noop_on_clean_input() {
+        let spans = sample();
+        let (same, touched) = clamp_into_parents(&spans);
+        assert_eq!(touched, 0, "clean input must not be rewritten");
+        assert_eq!(same, spans);
+        let mut skewed = spans;
+        skewed[1].start_ns = 0; // rtt can't start before the op root
+        skewed[1].dur_ns = 2_000_000; // ...or end after it
+        let (fixed, touched) = clamp_into_parents(&skewed);
+        assert_eq!(touched, 1);
+        validate_nesting(&fixed).expect("clamped spans nest");
+    }
+}

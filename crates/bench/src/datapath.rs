@@ -53,6 +53,12 @@ fn filled(rng: &mut SplitMix64, len: usize) -> Vec<u8> {
 }
 
 /// Time every kernel on `block`-byte buffers for `passes` iterations.
+///
+/// Passes are interleaved round-robin across the kernels rather than
+/// run rung by rung, so host-side slowdowns (CPU-quota throttling on
+/// small containers, background load) land on every rung instead of
+/// whichever happened to run last — the per-rung *ratios* stay honest
+/// even when absolute bandwidth wobbles.
 pub fn kernel_ladder(block: usize, passes: usize) -> Vec<KernelRung> {
     let kernels: [(&'static str, fn(&mut [u8], &[u8])); 5] = [
         ("bytewise", xor_into_bytewise),
@@ -64,16 +70,24 @@ pub fn kernel_ladder(block: usize, passes: usize) -> Vec<KernelRung> {
     let mut rng = SplitMix64::new(0xDA7A_0001);
     let src = filled(&mut rng, block);
     let mut dst = filled(&mut rng, block);
+    for &(_, f) in &kernels {
+        f(&mut dst, &src); // warm caches (and the parallel rung's threads)
+    }
+    let mut secs = [0.0f64; 5];
+    for _ in 0..passes {
+        for (i, &(_, f)) in kernels.iter().enumerate() {
+            let t0 = Instant::now();
+            f(&mut dst, &src);
+            secs[i] += t0.elapsed().as_secs_f64();
+        }
+    }
     kernels
         .iter()
-        .map(|&(kernel, f)| {
-            f(&mut dst, &src); // warm caches (and the parallel rung's threads)
-            let t0 = Instant::now();
-            for _ in 0..passes {
-                f(&mut dst, &src);
-            }
-            let secs = t0.elapsed().as_secs_f64().max(1e-9);
-            KernelRung { kernel, block, gbps: (block * passes) as f64 / secs / 1e9 }
+        .zip(secs)
+        .map(|(&(kernel, _), s)| KernelRung {
+            kernel,
+            block,
+            gbps: (block * passes) as f64 / s.max(1e-9) / 1e9,
         })
         .collect()
 }
@@ -280,13 +294,14 @@ mod tests {
     }
 
     /// Kernel ladder sanity: every rung reports positive bandwidth and
-    /// the auto dispatch is never far off the best rung. (The strict
-    /// bytewise-vs-wordwise ordering is a debug-build phenomenon — in
-    /// release the autovectorizer lifts bytewise to SIMD — so the bench
-    /// reports the ladder and the test only pins the dispatch.) The
-    /// dispatch check is best-of-3: this test shares the process with
-    /// two dozen concurrently-running suites, and a single measurement
-    /// can land while every core is busy elsewhere.
+    /// the auto dispatch adds no significant overhead over the rung it
+    /// dispatches to (unrolled below the parallel threshold, parallel
+    /// above). Which rung is *fastest* is codegen- and host-dependent —
+    /// debug builds don't vectorize the unrolled kernel, release lifts
+    /// even bytewise to SIMD — so the bench reports the ladder and the
+    /// test only pins the dispatch cost. Best-of-3: this test shares
+    /// the process with two dozen concurrently-running suites, and a
+    /// single measurement can land while every core is busy elsewhere.
     #[test]
     fn kernel_ladder_shapes() {
         let mut last = (0.0f64, 0.0f64);
@@ -297,14 +312,14 @@ mod tests {
                 assert!(r.gbps > 0.0, "{}: bandwidth must be positive", r.kernel);
             }
             let of = |k: &str| rungs.iter().find(|r| r.kernel == k).unwrap().gbps;
-            let serial_best = of("bytewise").max(of("wordwise")).max(of("unrolled"));
-            if of("auto") > 0.4 * serial_best {
+            let target = of("unrolled").max(of("parallel"));
+            if of("auto") > 0.4 * target {
                 return;
             }
-            last = (of("auto"), serial_best);
+            last = (of("auto"), target);
         }
         panic!(
-            "auto dispatch ({:.2} GB/s) must stay near the best serial rung ({:.2} GB/s)",
+            "auto dispatch ({:.2} GB/s) must stay near its dispatch target ({:.2} GB/s)",
             last.0, last.1
         );
     }

@@ -12,6 +12,7 @@
 //! mechanically, and the binary can print the same rows the paper plots.
 
 pub mod alloc_count;
+pub mod chrome_trace;
 pub mod crit;
 pub mod datapath;
 pub mod extensions;
@@ -21,6 +22,7 @@ pub mod obs;
 pub mod par;
 pub mod pipeline;
 pub mod trace;
+pub mod trace_overhead;
 pub mod trends;
 
 pub use harness::{run_fresh, run_overwrite, ExperimentResult, Series};

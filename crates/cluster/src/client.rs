@@ -18,11 +18,12 @@
 //! rather than being silently ignored.
 
 use crate::deploy::Inner;
-use crate::transport::{MgrMsg, ServerMsg};
+use crate::transport::{MgrMsg, ReplyTrace, ServerMsg};
 use csar_core::client::{Completion, Effect, OpDriver, OpOutput, ReadDriver, Token, WriteDriver};
 use csar_core::manager::{FileMeta, MgrRequest, MgrResponse};
 use csar_core::proto::{ClientId, ReqHeader, Request, Response, Scheme, ServerId};
 use csar_core::{CsarError, Layout};
+use csar_obs::trace::{next_span_id, next_trace_id, Phase, SpanId, TraceCtx, TraceId, TraceSpan};
 use csar_obs::{Ctr, Gauge, Hist, MetricsRegistry, SpanKind};
 use csar_store::{Payload, StorageReport};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -115,12 +116,75 @@ struct Flight {
     /// left); write payloads are never cloned.
     req: Option<Request>,
     first_sent: Instant,
+    /// Transmit time of *this* attempt (`first_sent` is attempt 0's).
+    sent: Instant,
     deadline: Instant,
     attempt: u32,
     /// §5.1 lock-read: its round trip includes the lock wait, so the
     /// reply also lands in [`Hist::LockWaitNs`]. Kept as a flag because
     /// non-retryable requests drop their `req`.
     lock_read: bool,
+    /// When tracing, this attempt's wire-RTT span id — the trace context
+    /// stamped on the request, which server-side spans parent under.
+    /// [`SpanId::NONE`] when tracing is off.
+    span: SpanId,
+}
+
+/// Per-operation causal tracer (DESIGN.md §15). Created only when
+/// tracing is enabled, so the disabled hot path costs one relaxed load
+/// per operation and allocates nothing. Each retry attempt gets its own
+/// wire span stamped on the request, which makes a timed-out-then-
+/// retried request show up as sibling attempts under the op root.
+struct OpTracer {
+    trace: TraceId,
+    root: SpanId,
+    /// The cluster-wide time origin shared with the server threads.
+    epoch: Instant,
+    spans: Vec<TraceSpan>,
+}
+
+impl OpTracer {
+    fn new(epoch: Instant) -> Self {
+        Self {
+            trace: next_trace_id(),
+            root: next_span_id(),
+            epoch,
+            spans: Vec::with_capacity(16),
+        }
+    }
+
+    fn ns(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_nanos() as u64
+    }
+
+    /// Record a finished phase span under `parent` with a fresh id.
+    fn push(&mut self, phase: Phase, parent: SpanId, start: Instant, end: Instant, aux: u64) -> SpanId {
+        let span = next_span_id();
+        self.push_as(span, phase, parent, start, end, aux);
+        span
+    }
+
+    /// Record a finished phase span under `parent` with a pre-allocated
+    /// id (an attempt span whose id was stamped on the wire earlier).
+    fn push_as(
+        &mut self,
+        span: SpanId,
+        phase: Phase,
+        parent: SpanId,
+        start: Instant,
+        end: Instant,
+        aux: u64,
+    ) {
+        self.spans.push(TraceSpan {
+            trace: self.trace,
+            span,
+            parent,
+            phase,
+            start_ns: self.ns(start),
+            dur_ns: end.saturating_duration_since(start).as_nanos() as u64,
+            aux,
+        });
+    }
 }
 
 /// A client's private connection state: request-id allocator over the
@@ -137,8 +201,8 @@ pub(crate) struct Handle {
 struct Engine<'h> {
     h: &'h Handle,
     cfg: TransportConfig,
-    tx: Sender<(u64, Response)>,
-    rx: Receiver<(u64, Response)>,
+    tx: Sender<(u64, Response, ReplyTrace)>,
+    rx: Receiver<(u64, Response, ReplyTrace)>,
     /// Submission queue, strict FIFO (see [`TransportConfig::window`]).
     /// The bool marks entries that were ever head-of-line blocked on a
     /// full per-server window (the window-stall metrics).
@@ -152,11 +216,19 @@ struct Engine<'h> {
     superseded: HashSet<u64>,
     stats: OpStats,
     started: Instant,
+    /// Present only while tracing is enabled *and* the caller opted in
+    /// (core ops do; raw batches and metric scrapes don't).
+    tracer: Option<OpTracer>,
 }
 
 impl<'h> Engine<'h> {
-    fn new(h: &'h Handle) -> Self {
+    fn new(h: &'h Handle, trace_op: bool) -> Self {
         let (tx, rx) = channel();
+        let tracer = if trace_op && h.inner.obs.tracing_enabled() {
+            Some(OpTracer::new(h.inner.epoch))
+        } else {
+            None
+        };
         Self {
             h,
             cfg: h.transport(),
@@ -169,6 +241,7 @@ impl<'h> Engine<'h> {
             superseded: HashSet::new(),
             stats: OpStats { ops: 1, ..OpStats::default() },
             started: Instant::now(),
+            tracer,
         }
     }
 
@@ -201,12 +274,21 @@ impl<'h> Engine<'h> {
                 break;
             }
             let Some((token, srv, req, queued, was_blocked)) = self.sq.pop_front() else { break };
+            let now = Instant::now();
             self.stats.queue_stall_ns += queued.elapsed().as_nanos() as u64;
             if was_blocked {
                 self.obs().inc(Ctr::EngWindowStalls);
                 self.obs().observe(Hist::WindowStallNs, queued.elapsed().as_nanos() as u64);
             }
-            self.transmit(token, srv, req, Instant::now(), 0)?;
+            if let Some(t) = self.tracer.as_mut() {
+                // Time in the submission queue; the head-of-line wait on
+                // a full per-server window nests inside it.
+                let sub = t.push(Phase::Submit, t.root, queued, now, srv as u64);
+                if was_blocked {
+                    t.push(Phase::WindowStall, sub, queued, now, srv as u64);
+                }
+            }
+            self.transmit(token, srv, req, now, 0)?;
         }
         Ok(())
     }
@@ -215,7 +297,7 @@ impl<'h> Engine<'h> {
         &mut self,
         token: Token,
         srv: ServerId,
-        req: Request,
+        mut req: Request,
         first_sent: Instant,
         attempt: u32,
     ) -> Result<(), CsarError> {
@@ -224,16 +306,30 @@ impl<'h> Engine<'h> {
         for _ in 0..attempt {
             timeout *= self.cfg.backoff.max(1);
         }
+        // Each attempt carries its own span id on the wire, so a retry's
+        // server-side spans parent under the retry, not the abandoned
+        // attempt.
+        let span = match self.tracer.as_ref() {
+            Some(t) => {
+                let id = next_span_id();
+                req.set_trace(Some(TraceCtx { trace: t.trace, span: id }));
+                id
+            }
+            None => SpanId::NONE,
+        };
         let keep = attempt < self.cfg.retries && retryable(&req);
         let lock_read = matches!(req, Request::ParityReadLock { .. });
+        let sent = Instant::now();
         let flight = Flight {
             token,
             srv,
             req: if keep { Some(req.clone()) } else { None },
             first_sent,
-            deadline: Instant::now() + timeout,
+            sent,
+            deadline: sent + timeout,
             attempt,
             lock_read,
+            span,
         };
         self.h.inner.server_txs[srv as usize]
             .send(ServerMsg::Req { from: self.h.id, req_id, req, reply_to: self.tx.clone() })
@@ -267,7 +363,7 @@ impl<'h> Engine<'h> {
                 .min()
                 .unwrap_or(now);
             match self.rx.recv_timeout(nearest.saturating_duration_since(now)) {
-                Ok((req_id, resp)) => {
+                Ok((req_id, resp, batch)) => {
                     if self.superseded.remove(&req_id) {
                         continue; // late reply of a retried attempt
                     }
@@ -285,6 +381,15 @@ impl<'h> Engine<'h> {
                         // The §5.1 grant round trip includes the parked
                         // wait behind any holder.
                         self.obs().observe(Hist::LockWaitNs, rtt);
+                    }
+                    if let Some(t) = self.tracer.as_mut() {
+                        // This attempt's wire RTT, plus whatever spans
+                        // the server piggybacked (queue, lock, service —
+                        // they parent under `f.span`).
+                        t.push_as(f.span, Phase::WireRtt, t.root, f.sent, Instant::now(), f.srv as u64);
+                        if let Some(batch) = batch {
+                            t.spans.extend_from_slice(&batch);
+                        }
                     }
                     self.first_byte();
                     return Ok((f.token, resp));
@@ -309,6 +414,13 @@ impl<'h> Engine<'h> {
         for req_id in expired {
             let Some(f) = self.inflight.remove(&req_id) else { continue };
             self.per_server[f.srv as usize] -= 1;
+            if let Some(t) = self.tracer.as_mut() {
+                // The expired attempt becomes a `timeout` span naming the
+                // unresponsive server; a retry shows up as a sibling
+                // attempt next to it, which is exactly what the flight
+                // recorder needs to attribute a stall.
+                t.push_as(f.span, Phase::Timeout, t.root, f.sent, now, f.srv as u64);
+            }
             match f.req {
                 Some(req) => {
                     self.superseded.insert(req_id);
@@ -377,21 +489,45 @@ impl Handle {
     }
 
     /// Drive one core operation to completion over a private engine,
-    /// delivering each reply as soon as it arrives.
+    /// delivering each reply as soon as it arrives. When tracing is on,
+    /// the engine stitches the op's spans (client phases, wire RTTs and
+    /// server piggybacks) into one causal tree, retains it in the flight
+    /// recorder, and — if the op dies with [`CsarError::Timeout`] —
+    /// dumps the recorder automatically.
     pub(crate) fn run_op(
         &self,
         driver: &mut dyn OpDriver,
     ) -> Result<(OpOutput, OpStats), CsarError> {
-        let mut eng = Engine::new(self);
+        let mut eng = Engine::new(self, true);
+        let res = self.run_op_inner(driver, &mut eng);
+        self.finish_trace(&mut eng, &res);
+        res
+    }
+
+    fn run_op_inner(
+        &self,
+        driver: &mut dyn OpDriver,
+        eng: &mut Engine,
+    ) -> Result<(OpOutput, OpStats), CsarError> {
+        let t0 = Instant::now();
         let mut queue: VecDeque<Effect> = driver.poll(Completion::Begin).into();
+        if let Some(t) = eng.tracer.as_mut() {
+            t.push(Phase::Plan, t.root, t0, Instant::now(), queue.len() as u64);
+        }
         loop {
             while let Some(e) = queue.pop_front() {
                 match e {
                     Effect::Send { token, srv, req } => eng.submit(token, srv, req),
-                    Effect::Compute { token, .. } => {
+                    Effect::Compute { token, bytes } => {
                         // The XOR itself already happened inside the
-                        // driver; the completion is immediate here.
+                        // driver; the completion is immediate here, so
+                        // the xor span times the state-machine step that
+                        // absorbed it (aux carries the XORed bytes).
+                        let t0 = Instant::now();
                         queue.extend(driver.poll(Completion::ComputeDone { token }));
+                        if let Some(t) = eng.tracer.as_mut() {
+                            t.push(Phase::Xor, t.root, t0, Instant::now(), bytes);
+                        }
                     }
                     Effect::Done(r) => {
                         let stats = eng.finish();
@@ -400,7 +536,36 @@ impl Handle {
                 }
             }
             let (token, resp) = eng.await_completion()?;
+            let t0 = Instant::now();
             queue.extend(driver.poll(Completion::Reply { token, resp }));
+            if let Some(t) = eng.tracer.as_mut() {
+                t.push(Phase::Deliver, t.root, t0, Instant::now(), 0);
+            }
+        }
+    }
+
+    /// Close out an op's trace: emit the root span, mirror everything
+    /// into the client registry's trace ring, retain the tree in the
+    /// flight recorder, and auto-dump on timeout.
+    fn finish_trace(
+        &self,
+        eng: &mut Engine,
+        res: &Result<(OpOutput, OpStats), CsarError>,
+    ) {
+        let Some(mut t) = eng.tracer.take() else { return };
+        let requests = eng.stats.requests;
+        t.push_as(t.root, Phase::Op, SpanId::NONE, eng.started, Instant::now(), requests);
+        for s in &t.spans {
+            self.inner.obs.record_trace(s);
+        }
+        self.inner.record_flight(std::mem::take(&mut t.spans));
+        if let Err(CsarError::Timeout { server, .. }) = res {
+            let dump = self.inner.dump_flight("timeout", Some(*server));
+            eprintln!(
+                "csar: op timed out on server {server}; flight recorder dumped \
+                 ({} bytes, retained via Cluster::last_flight_dump)",
+                dump.len()
+            );
         }
     }
 
@@ -410,7 +575,9 @@ impl Handle {
         &self,
         batch: Vec<(ServerId, Request)>,
     ) -> Result<Vec<Response>, CsarError> {
-        let mut eng = Engine::new(self);
+        // Raw batches (stats scrapes, maintenance, rebuild) are not
+        // traced as ops; only driver-run operations build trace trees.
+        let mut eng = Engine::new(self, false);
         let n = batch.len();
         for (i, (srv, req)) in batch.into_iter().enumerate() {
             eng.submit(i as Token, srv, req);
@@ -561,7 +728,7 @@ impl File {
 
     fn hdr(&self) -> ReqHeader {
         let m = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
-        ReqHeader { fh: m.fh, layout: m.layout, scheme: m.scheme }
+        ReqHeader::new(m.fh, m.layout, m.scheme)
     }
 
     /// Write `data` at `off`.

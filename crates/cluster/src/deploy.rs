@@ -9,13 +9,21 @@ use csar_core::recovery::RebuildPlan;
 use csar_core::manager::Manager;
 use csar_core::server::{IoServer, ServerConfig, ServerImage};
 use csar_core::{CsarError, Span};
+use csar_obs::trace::{build_trees, TraceSpan};
 use csar_obs::MetricsRegistry;
 use csar_parity::ParityAccumulator;
 use csar_store::{FromJson, Json, Payload, ToJson};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Completed trace trees the flight recorder retains (DESIGN.md §15).
+/// Old enough ops fall off the back; a timeout dump therefore shows the
+/// failed op *plus* the ops that competed with it for the same servers.
+pub(crate) const FLIGHT_RING: usize = 32;
 
 pub(crate) struct Inner {
     pub server_txs: Vec<Sender<ServerMsg>>,
@@ -28,6 +36,51 @@ pub(crate) struct Inner {
     /// Cluster-wide client-side metrics (engine, per-op latency,
     /// cleaner/scrubber); each server keeps its own registry.
     pub obs: MetricsRegistry,
+    /// Common time origin for every span timestamp in this cluster:
+    /// client engines and server threads all report nanoseconds since
+    /// this instant, so one op's spans stitch onto a single axis.
+    pub epoch: Instant,
+    /// Flight recorder: span sets of the most recent traced ops.
+    pub flight: Mutex<VecDeque<Vec<TraceSpan>>>,
+    /// The JSON body of the most recent flight-recorder dump (automatic
+    /// on timeout, or on demand).
+    pub last_dump: Mutex<Option<String>>,
+}
+
+impl Inner {
+    /// Retain a completed op's spans in the flight-recorder ring.
+    pub(crate) fn record_flight(&self, spans: Vec<TraceSpan>) {
+        if spans.is_empty() {
+            return;
+        }
+        let mut ring = self.flight.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() == FLIGHT_RING {
+            ring.pop_front();
+        }
+        ring.push_back(spans);
+    }
+
+    /// Render the flight-recorder contents as a JSON document and retain
+    /// it as the last dump. `server` names the server a timeout dump
+    /// attributes the stall to.
+    pub(crate) fn dump_flight(&self, reason: &str, server: Option<u32>) -> String {
+        let trees: Vec<Json> = {
+            let ring = self.flight.lock().unwrap_or_else(PoisonError::into_inner);
+            ring.iter()
+                .flat_map(|spans| build_trees(spans))
+                .map(|t| t.to_json())
+                .collect()
+        };
+        let body = Json::obj([
+            ("reason", Json::from(reason)),
+            ("server", server.map(Json::from).unwrap_or(Json::Null)),
+            ("trees", Json::Arr(trees)),
+        ])
+        .to_pretty();
+        let mut last = self.last_dump.lock().unwrap_or_else(PoisonError::into_inner);
+        *last = Some(body.clone());
+        body
+    }
 }
 
 /// A running in-process CSAR cluster.
@@ -56,6 +109,7 @@ impl Cluster {
         let mut server_txs = Vec::with_capacity(n as usize);
         let mut shared = Vec::with_capacity(n as usize);
         let mut threads = Vec::with_capacity(n as usize + 1);
+        let epoch = Instant::now();
         for engine in engines {
             let id = engine.id;
             let (tx, rx) = channel::<ServerMsg>();
@@ -63,7 +117,7 @@ impl Cluster {
             let engine2 = Arc::clone(&engine);
             threads.push(std::thread::Builder::new()
                 .name(format!("csar-iod-{id}"))
-                .spawn(move || run_server(id, cfg, rx, engine2))
+                .spawn(move || run_server(id, cfg, rx, engine2, epoch))
                 .expect("spawn server thread"));
             server_txs.push(tx);
             shared.push(engine);
@@ -83,6 +137,9 @@ impl Cluster {
                 servers: n,
                 transport: Mutex::new(TransportConfig::default()),
                 obs: MetricsRegistry::new(),
+                epoch,
+                flight: Mutex::new(VecDeque::with_capacity(FLIGHT_RING)),
+                last_dump: Mutex::new(None),
             }),
             threads: Mutex::new(threads),
         }
@@ -173,6 +230,52 @@ impl Cluster {
         for srv in 0..self.servers() {
             self.with_server(srv, |s| s.obs.set_enabled(on));
         }
+    }
+
+    /// Turn causal tracing on or off everywhere: the client-side
+    /// registry (which gates the engine's per-op tracer and the flight
+    /// recorder), every server's registry (which gates queue/lock/service
+    /// span emission and piggybacking), and the process-global registry.
+    ///
+    /// Independent of [`Cluster::set_metrics_enabled`]: tracing defaults
+    /// to off so the metrics-on hot path stays allocation-free.
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.obs.set_tracing(on);
+        csar_obs::global().set_tracing(on);
+        for srv in 0..self.servers() {
+            self.with_server(srv, |s| s.obs.set_tracing(on));
+        }
+    }
+
+    /// Dump the flight recorder on demand: a JSON document holding the
+    /// causal trace trees of the most recent traced operations. The same
+    /// document is produced automatically (and kept — see
+    /// [`Cluster::last_flight_dump`]) when an op fails with
+    /// [`CsarError::Timeout`].
+    pub fn dump_flight_recorder(&self) -> String {
+        self.inner.dump_flight("on-demand", None)
+    }
+
+    /// The most recent flight-recorder dump, if any (automatic on
+    /// timeout, or from [`Cluster::dump_flight_recorder`]).
+    pub fn last_flight_dump(&self) -> Option<String> {
+        self.inner.last_dump.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// The raw span sets currently held by the flight recorder, most
+    /// recent last (for exporters that want spans, not JSON).
+    pub fn flight_spans(&self) -> Vec<Vec<csar_obs::trace::TraceSpan>> {
+        let ring = self.inner.flight.lock().unwrap_or_else(PoisonError::into_inner);
+        ring.iter().cloned().collect()
+    }
+
+    /// Hold server `id`'s engine mutex, stalling its service loop at the
+    /// next dispatch until the guard is dropped. Tests use this to force
+    /// a [`CsarError::Timeout`] attributable to a specific slow server —
+    /// unlike [`Cluster::fail_server`], the server is *slow*, not down,
+    /// so clients keep waiting on it.
+    pub fn hold_server(&self, id: ServerId) -> MutexGuard<'_, IoServer> {
+        self.inner.shared[id as usize].lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// One merged snapshot of every registry in the cluster: each
@@ -291,7 +394,7 @@ impl Cluster {
     ) -> Result<(), CsarError> {
         let ly = meta.layout;
         let unit = ly.stripe_unit;
-        let hdr = ReqHeader { fh: meta.fh, layout: ly, scheme: meta.scheme };
+        let hdr = ReqHeader::new(meta.fh, ly, meta.scheme);
         let plan = RebuildPlan::for_file(meta, failed);
         let h = client.handle();
 

@@ -172,7 +172,7 @@ impl Cluster {
             }
             let ly = meta.layout;
             let unit = ly.stripe_unit;
-            let hdr = ReqHeader { fh: meta.fh, layout: ly, scheme: meta.scheme };
+            let hdr = ReqHeader::new(meta.fh, ly, meta.scheme);
             let h = client.handle();
             let groups = meta.size.div_ceil(ly.group_width_bytes());
             let mut acc = ParityAccumulator::new(unit as usize);

@@ -1,13 +1,15 @@
 //! Server and manager threads.
 
-use crate::transport::{MgrMsg, ServerMsg};
+use crate::transport::{MgrMsg, ReplyTrace, ServerMsg};
 use csar_core::manager::Manager;
 use csar_core::proto::{Response, ServerId};
 use csar_core::server::{Effect, IoServer, ServerConfig};
+use csar_obs::trace::{derived_span, Phase, TraceSpan};
 use csar_obs::Gauge;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
 
 /// Shared observer handle onto one server thread's engine state.
 ///
@@ -16,50 +18,138 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// can inspect them without stopping the cluster.
 pub(crate) type SharedServer = Arc<Mutex<IoServer>>;
 
+/// Nanoseconds of `t` relative to the cluster epoch. All cluster
+/// threads share one epoch `Instant` so server-side span timestamps
+/// land on the same axis as the client engine's (DESIGN.md §15).
+fn ns_since(epoch: Instant, t: Instant) -> u64 {
+    t.saturating_duration_since(epoch).as_nanos() as u64
+}
+
 /// Run one I/O server thread until `Shutdown`.
 ///
 /// Requests whose handling is deferred by the parity lock produce their
 /// reply later (when the unlocking write arrives); the thread keeps the
 /// reply channel of every in-flight request keyed by `(client, req_id)`.
+///
+/// When tracing is enabled on the engine's registry, the thread times
+/// each request's queue wait (arrival to dispatch) and service (the
+/// `handle_at` call) and piggybacks the spans — plus any §5.1
+/// `lock_wait` span the engine attached to a woken reply — on the reply
+/// tuple. The executor owns the clock: the engine state machine itself
+/// never reads time, it only receives `now_ns` (so the sim can replay
+/// the same state machine under a virtual clock).
 pub(crate) fn run_server(
     id: ServerId,
     cfg: ServerConfig,
     rx: Receiver<ServerMsg>,
     shared: SharedServer,
+    epoch: Instant,
 ) {
     debug_assert_eq!(shared.lock().unwrap_or_else(PoisonError::into_inner).id, id);
     let _ = cfg;
-    let mut pending: HashMap<(u32, u64), Sender<(u64, Response)>> = HashMap::new();
+    let mut pending: HashMap<(u32, u64), Sender<(u64, Response, ReplyTrace)>> = HashMap::new();
+    // Queue-wait spans of requests parked on a parity lock: computed at
+    // their dispatch, attached when the unlocking write finally produces
+    // their reply.
+    let mut held_spans: HashMap<(u32, u64), TraceSpan> = HashMap::new();
     // The mpsc channel has no length query, so the loop drains it
     // greedily into a local backlog; its depth is what the queue-depth
-    // gauge reports.
-    let mut backlog: VecDeque<ServerMsg> = VecDeque::new();
+    // gauge reports. Each entry keeps its arrival time for the
+    // `srv_queue` trace phase.
+    let mut backlog: VecDeque<(ServerMsg, Instant)> = VecDeque::new();
     'serve: loop {
         if backlog.is_empty() {
             match rx.recv() {
-                Ok(msg) => backlog.push_back(msg),
+                Ok(msg) => backlog.push_back((msg, Instant::now())),
                 Err(_) => break,
             }
         }
         while let Ok(msg) = rx.try_recv() {
-            backlog.push_back(msg);
+            backlog.push_back((msg, Instant::now()));
         }
-        let Some(msg) = backlog.pop_front() else { break };
+        let Some((msg, arrived_at)) = backlog.pop_front() else { break };
         match msg {
             ServerMsg::Req { from, req_id, req, reply_to } => {
                 pending.insert((from, req_id), reply_to);
-                let effects = {
+                let ctx = req.trace_ctx();
+                let dispatch = Instant::now();
+                let (effects, traced) = {
                     // A panicked observer cannot corrupt the engine, so a
                     // poisoned lock is recovered rather than propagated.
                     let mut engine = shared.lock().unwrap_or_else(PoisonError::into_inner);
                     // Backlog plus the request in service.
                     engine.obs.gauge_set(Gauge::SrvQueueDepth, backlog.len() as u64 + 1);
-                    engine.handle(from, req_id, req)
+                    let traced = engine.obs.tracing_enabled();
+                    let effects = engine.handle_at(from, req_id, req, ns_since(epoch, dispatch));
+                    (effects, traced)
                 };
-                for Effect::Reply { to, req_id, resp, .. } in effects {
-                    if let Some(tx) = pending.remove(&(to, req_id)) {
-                        // A dead client is fine; drop the reply.
-                        let _ = tx.send((req_id, resp));
+                let done = Instant::now();
+                let queue_span = match (traced, ctx) {
+                    (true, Some(c)) => Some(TraceSpan {
+                        trace: c.trace,
+                        span: derived_span(c.span, Phase::SrvQueue),
+                        parent: c.span,
+                        phase: Phase::SrvQueue,
+                        start_ns: ns_since(epoch, arrived_at),
+                        dur_ns: dispatch.saturating_duration_since(arrived_at).as_nanos() as u64,
+                        aux: id as u64,
+                    }),
+                    _ => None,
+                };
+                let mut replied_current = false;
+                let mut recorded: Vec<TraceSpan> = Vec::new();
+                for e in effects {
+                    let Effect::Reply { to, req_id: rid, resp, trace, lock_wait, .. } = e;
+                    let Some(tx) = pending.remove(&(to, rid)) else { continue };
+                    let batch: ReplyTrace = if traced {
+                        let mut spans: Vec<TraceSpan> = Vec::with_capacity(3);
+                        if to == from && rid == req_id {
+                            replied_current = true;
+                            spans.extend(queue_span);
+                        } else {
+                            // A parked request woken by this unlock; its
+                            // own queue wait was stamped at its dispatch.
+                            spans.extend(held_spans.remove(&(to, rid)));
+                        }
+                        if let Some(c) = trace {
+                            // Service time: for a woken waiter this is the
+                            // slice of the unlocking dispatch that served
+                            // its deferred read.
+                            spans.push(TraceSpan {
+                                trace: c.trace,
+                                span: derived_span(c.span, Phase::Service),
+                                parent: c.span,
+                                phase: Phase::Service,
+                                start_ns: ns_since(epoch, dispatch),
+                                dur_ns: done.saturating_duration_since(dispatch).as_nanos() as u64,
+                                aux: id as u64,
+                            });
+                        }
+                        // `lock_wait` was already recorded into the engine's
+                        // ring by `handle_at`; it only needs piggybacking.
+                        recorded.extend_from_slice(&spans);
+                        spans.extend(lock_wait);
+                        if spans.is_empty() { None } else { Some(spans.into_boxed_slice()) }
+                    } else {
+                        None
+                    };
+                    // A dead client is fine; drop the reply.
+                    let _ = tx.send((rid, resp, batch));
+                }
+                if traced && !replied_current {
+                    // Parked on the parity lock: keep the queue-wait span
+                    // until the wake produces the reply.
+                    if let Some(s) = queue_span {
+                        held_spans.insert((from, req_id), s);
+                        recorded.push(s);
+                    }
+                }
+                if !recorded.is_empty() {
+                    // Mirror the piggybacked spans into this server's own
+                    // trace ring so a `GetStats` scrape sees them too.
+                    let engine = shared.lock().unwrap_or_else(PoisonError::into_inner);
+                    for s in &recorded {
+                        engine.obs.record_trace(s);
                     }
                 }
             }

@@ -1,8 +1,14 @@
 //! Channel transport between clients and nodes.
 
-use std::sync::mpsc::Sender;
 use csar_core::manager::{MgrRequest, MgrResponse};
 use csar_core::proto::{ClientId, Request, Response};
+use csar_obs::trace::TraceSpan;
+use std::sync::mpsc::Sender;
+
+/// Server-side trace spans piggybacked on a reply (queue wait, §5.1
+/// lock wait, service — DESIGN.md §15). `None` when tracing is off, so
+/// the disabled path moves no extra heap data per reply.
+pub(crate) type ReplyTrace = Option<Box<[TraceSpan]>>;
 
 /// A message to an I/O server thread.
 pub(crate) enum ServerMsg {
@@ -13,7 +19,7 @@ pub(crate) enum ServerMsg {
         from: ClientId,
         req_id: u64,
         req: Request,
-        reply_to: Sender<(u64, Response)>,
+        reply_to: Sender<(u64, Response, ReplyTrace)>,
     },
     /// Stop the thread.
     Shutdown,

@@ -417,7 +417,7 @@ fn reply_timeout_names_the_unresponsive_server() {
     f.write_at(0, &pattern(3 * unit as usize, 11)).unwrap();
 
     let meta = f.meta();
-    let hdr = ReqHeader { fh: meta.fh, layout: meta.layout, scheme: meta.scheme };
+    let hdr = ReqHeader::new(meta.fh, meta.layout, meta.scheme);
     let parity_srv = meta.layout.parity_server(0);
     client
         .send_raw(parity_srv, Request::ParityReadLock { hdr, group: 0, intra: 0, len: unit })
@@ -499,5 +499,182 @@ fn remove_then_recreate_gets_fresh_handle() {
     let f2 = client.create("tmp", Scheme::Raid1, 512).unwrap();
     assert_ne!(f2.meta().fh, old_fh, "handles are never reused");
     assert_eq!(f2.size(), 0);
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Causal tracing & flight recorder (DESIGN.md §15)
+
+/// Walk a flight-recorder JSON dump's trace trees, calling `f` on every
+/// node (phase name, aux).
+fn walk_dump(dump: &str, f: &mut impl FnMut(&str, u64)) {
+    fn walk_node(n: &csar_store::Json, f: &mut impl FnMut(&str, u64)) {
+        let phase = n.field("phase").ok().and_then(|p| p.as_str().map(str::to_string));
+        let aux = n.u64_field("aux").unwrap_or(0);
+        if let Some(p) = phase {
+            f(&p, aux);
+        }
+        if let Ok(kids) = n.field("children") {
+            for k in kids.as_array().unwrap_or(&[]) {
+                walk_node(k, f);
+            }
+        }
+    }
+    let doc = csar_store::Json::parse(dump).expect("dump must be valid JSON");
+    for t in doc.field("trees").unwrap().as_array().unwrap() {
+        walk_node(t, f);
+    }
+}
+
+#[test]
+fn tracing_stitches_client_and_server_phases_into_one_tree() {
+    use csar_obs::trace::{build_trees, Phase};
+    let n = 5u32;
+    let unit = 512u64;
+    let cluster = Cluster::spawn(n, cfg());
+    let client = cluster.client();
+    let f = client.create("traced", Scheme::Raid5, unit).unwrap();
+    cluster.set_tracing(true);
+    f.write_at(0, &pattern((n as usize - 1) * unit as usize, 21)).unwrap();
+    let data = f.read_at(0, unit).unwrap();
+    cluster.set_tracing(false);
+    assert_eq!(data.len(), unit as usize);
+
+    let flights = cluster.flight_spans();
+    assert_eq!(flights.len(), 2, "one flight-recorder entry per traced op");
+    // The read: a single tree whose root is the op, with the wire RTT
+    // under it and the server's queue/service phases under the RTT.
+    let read_spans = flights.last().unwrap();
+    let trees = build_trees(read_spans);
+    assert_eq!(trees.len(), 1, "all spans of one op share one tree");
+    let root = &trees[0];
+    assert_eq!(root.span.phase, Phase::Op);
+    let mut phases = Vec::new();
+    root.walk(&mut |node| phases.push(node.span.phase));
+    for want in [Phase::Plan, Phase::Submit, Phase::WireRtt, Phase::SrvQueue, Phase::Service, Phase::Deliver] {
+        assert!(phases.contains(&want), "read tree missing {want:?}: {phases:?}");
+    }
+    let rtt = root.children.iter().find(|c| c.span.phase == Phase::WireRtt).unwrap();
+    assert!(
+        rtt.children.iter().any(|c| c.span.phase == Phase::SrvQueue)
+            && rtt.children.iter().any(|c| c.span.phase == Phase::Service),
+        "server phases must hang under the attempt that carried them"
+    );
+    // The write did parity XOR work.
+    let wtrees = build_trees(&flights[0]);
+    let mut wphases = Vec::new();
+    wtrees[0].walk(&mut |node| wphases.push(node.span.phase));
+    assert!(wphases.contains(&Phase::Xor), "whole-group write must record xor: {wphases:?}");
+
+    // On-demand dump round-trips as JSON and holds both trees.
+    let dump = cluster.dump_flight_recorder();
+    let mut ops = 0;
+    walk_dump(&dump, &mut |phase, _| {
+        if phase == "op" {
+            ops += 1;
+        }
+    });
+    assert_eq!(ops, 2);
+    assert_eq!(cluster.last_flight_dump().as_deref(), Some(dump.as_str()));
+    cluster.shutdown();
+}
+
+#[test]
+fn retried_read_traces_both_attempts_as_siblings() {
+    use csar_obs::trace::{build_trees, Phase};
+    // A held server makes the first read attempt miss its deadline; the
+    // retry succeeds after release. The op's trace tree must show both
+    // attempts — the timed-out one and the successful one — as siblings
+    // under the op root, attributed to the same server.
+    let n = 4u32;
+    let unit = 512u64;
+    let cluster = Cluster::spawn(n, cfg());
+    let client = cluster.client();
+    let f = client.create("retry", Scheme::Raid5, unit).unwrap();
+    f.write_at(0, &pattern(3 * unit as usize, 31)).unwrap();
+    let slow = f.meta().layout.home_server(0);
+
+    cluster.set_reply_timeout(Duration::from_millis(100));
+    cluster.set_tracing(true);
+    let guard = cluster.hold_server(slow);
+    std::thread::scope(|scope| {
+        let t = scope.spawn(|| f.read_at(0, unit).unwrap());
+        std::thread::sleep(Duration::from_millis(250));
+        drop(guard);
+        assert_eq!(t.join().unwrap().len(), unit as usize);
+    });
+    cluster.set_tracing(false);
+
+    let flights = cluster.flight_spans();
+    let read_spans = flights.last().unwrap();
+    let trees = build_trees(read_spans);
+    assert_eq!(trees.len(), 1, "both attempts belong to one trace tree");
+    let root = &trees[0];
+    let timeouts: Vec<_> =
+        root.children.iter().filter(|c| c.span.phase == Phase::Timeout).collect();
+    let rtts: Vec<_> = root.children.iter().filter(|c| c.span.phase == Phase::WireRtt).collect();
+    assert_eq!(timeouts.len(), 1, "first attempt must appear as a timeout span");
+    assert_eq!(rtts.len(), 1, "retry must appear as a wire-rtt span");
+    assert_eq!(timeouts[0].span.aux, slow as u64);
+    assert_eq!(rtts[0].span.aux, slow as u64);
+    assert!(
+        timeouts[0].span.start_ns < rtts[0].span.start_ns,
+        "the abandoned attempt started first"
+    );
+
+    // The on-demand dump contains the retried op.
+    let dump = cluster.dump_flight_recorder();
+    let mut saw_timeout = false;
+    walk_dump(&dump, &mut |phase, aux| {
+        saw_timeout |= phase == "timeout" && aux == slow as u64;
+    });
+    assert!(saw_timeout, "dump must contain the abandoned attempt");
+    cluster.shutdown();
+}
+
+#[test]
+fn forced_timeout_auto_dumps_flight_recorder_naming_slow_server() {
+    // Acceptance: with retries disabled, an op stalled on a held (slow,
+    // not down) server dies with CsarError::Timeout — and the flight
+    // recorder dumps automatically, its trace tree attributing the stall
+    // to that server.
+    let n = 4u32;
+    let unit = 512u64;
+    let cluster = Cluster::spawn(n, cfg());
+    cluster.set_transport_config(csar_cluster::TransportConfig {
+        window: 8,
+        reply_timeout: Duration::from_millis(80),
+        retries: 0,
+        backoff: 2,
+    });
+    let client = cluster.client();
+    let f = client.create("stalled", Scheme::Raid5, unit).unwrap();
+    f.write_at(0, &pattern(3 * unit as usize, 41)).unwrap();
+    let slow = f.meta().layout.home_server(0);
+
+    cluster.set_tracing(true);
+    assert!(cluster.last_flight_dump().is_none());
+    let guard = cluster.hold_server(slow);
+    let err = std::thread::scope(|scope| {
+        let t = scope.spawn(|| f.read_at(0, unit).unwrap_err());
+        let err = t.join().unwrap();
+        drop(guard);
+        err
+    });
+    cluster.set_tracing(false);
+    match err {
+        CsarError::Timeout { server, .. } => assert_eq!(server, slow),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+
+    let dump = cluster.last_flight_dump().expect("timeout must auto-dump the flight recorder");
+    let doc = csar_store::Json::parse(&dump).unwrap();
+    assert_eq!(doc.field("reason").unwrap().as_str(), Some("timeout"));
+    assert_eq!(doc.u64_field("server").unwrap(), slow as u64);
+    let mut saw_stall = false;
+    walk_dump(&dump, &mut |phase, aux| {
+        saw_stall |= phase == "timeout" && aux == slow as u64;
+    });
+    assert!(saw_stall, "dump's trace tree must attribute the stall to server {slow}");
     cluster.shutdown();
 }

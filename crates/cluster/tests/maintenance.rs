@@ -212,7 +212,7 @@ fn scrub_detects_corruption() {
     // Easiest honest corruption: write different data through WriteParity.
     use csar_core::proto::{ParityPart, ReqHeader, Request};
     use csar_store::Payload;
-    let hdr5 = ReqHeader { fh: meta5.fh, layout: meta5.layout, scheme: meta5.scheme };
+    let hdr5 = ReqHeader::new(meta5.fh, meta5.layout, meta5.scheme);
     let rogue = cluster.client();
     rogue
         .send_raw(
@@ -225,7 +225,7 @@ fn scrub_detects_corruption() {
         )
         .unwrap();
     let meta1 = f1.meta();
-    let hdr1 = ReqHeader { fh: meta1.fh, layout: meta1.layout, scheme: meta1.scheme };
+    let hdr1 = ReqHeader::new(meta1.fh, meta1.layout, meta1.scheme);
     rogue
         .send_raw(
             meta1.layout.mirror_server(3),

@@ -90,7 +90,7 @@ impl ReadDriver {
     pub fn new(meta: &FileMeta, off: u64, len: u64, failed: Option<ServerId>) -> Self {
         assert!(len > 0, "zero-length reads are a caller-side no-op");
         Self {
-            hdr: ReqHeader { fh: meta.fh, layout: meta.layout, scheme: meta.scheme },
+            hdr: ReqHeader::new(meta.fh, meta.layout, meta.scheme),
             off,
             len,
             failed,

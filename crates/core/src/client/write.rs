@@ -163,7 +163,7 @@ impl WriteDriver {
     ) -> Self {
         assert!(!payload.is_empty(), "zero-length writes are a caller-side no-op");
         let ly = meta.layout;
-        let hdr = ReqHeader { fh: meta.fh, layout: ly, scheme: meta.scheme };
+        let hdr = ReqHeader::new(meta.fh, ly, meta.scheme);
         let mut partials = Vec::new();
         let mut full = None;
         let mut plain_partial_spans = Vec::new();

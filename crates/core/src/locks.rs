@@ -16,6 +16,13 @@
 //! waits for it before issuing the second (see
 //! [`crate::client::write`]). The table itself is a plain FIFO lock per
 //! `(file, group)`.
+//!
+//! Time spent parked in these queues is the §5.1 latency phase the
+//! causal-tracing layer calls `lock_wait` (DESIGN.md §15): the server
+//! stamps a waiter's park time when it queues a ticket and emits the
+//! span when [`ParityLockTable::release`] grants it. The table itself
+//! stays clock-free — tickets are opaque, so whatever timestamp the
+//! server parks inside the ticket rides along for free.
 
 use std::collections::{HashMap, VecDeque};
 

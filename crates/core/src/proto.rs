@@ -10,6 +10,7 @@
 use crate::error::CsarError;
 use crate::layout::{Layout, Span};
 use crate::overflow::OverflowEntry;
+use csar_obs::trace::TraceCtx;
 use csar_store::{FromJson, Json, JsonError, Payload, StreamUsage, ToJson};
 
 /// Identifies a client process.
@@ -107,6 +108,15 @@ pub struct ParityPart {
 }
 
 /// Per-request header: everything a stateless I/O server needs.
+///
+/// The optional [`TraceCtx`] is the causal-tracing propagation vector:
+/// the client's completion engine stamps each transmitted attempt with
+/// its trace and attempt-span IDs, and the server executor hangs its
+/// child spans (queue wait, §5.1 lock wait, service) under that span.
+/// The context is 17 bytes and rides inside the protocol's fixed
+/// 64-byte wire header ([`WIRE_HEADER`] — `fh` + layout + scheme use
+/// well under half of it), so enabling tracing changes no simulated
+/// wire size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReqHeader {
     /// File handle.
@@ -115,6 +125,16 @@ pub struct ReqHeader {
     pub layout: Layout,
     /// Redundancy scheme of the file.
     pub scheme: Scheme,
+    /// Causal-trace context, `None` when tracing is off.
+    pub trace: Option<TraceCtx>,
+}
+
+impl ReqHeader {
+    /// A header with no trace context (the engine stamps one per
+    /// transmitted attempt when tracing is enabled).
+    pub fn new(fh: u64, layout: Layout, scheme: Scheme) -> Self {
+        ReqHeader { fh, layout, scheme, trace: None }
+    }
 }
 
 /// A request to an I/O server.
@@ -395,6 +415,62 @@ impl Request {
         } as u64;
         WIRE_HEADER + spans * WIRE_SPAN + self.payload_bytes()
     }
+
+    /// The request header, if this request class carries one
+    /// (`GetStats` and `Wipe` are header-free and stay untraced).
+    pub fn header(&self) -> Option<&ReqHeader> {
+        match self {
+            Request::WriteData { hdr, .. }
+            | Request::WriteMirror { hdr, .. }
+            | Request::WriteParity { hdr, .. }
+            | Request::ParityRead { hdr, .. }
+            | Request::ParityReadLock { hdr, .. }
+            | Request::ParityWriteUnlock { hdr, .. }
+            | Request::ReadData { hdr, .. }
+            | Request::ReadMirror { hdr, .. }
+            | Request::ReadLatest { hdr, .. }
+            | Request::OverflowWrite { hdr, .. }
+            | Request::OverflowFetch { hdr, .. }
+            | Request::DumpOverflowTable { hdr, .. }
+            | Request::GetUsage { hdr }
+            | Request::EvictFile { hdr }
+            | Request::CompactOverflow { hdr }
+            | Request::OverflowQuery { hdr, .. }
+            | Request::InvalidateOverflowRange { hdr, .. } => Some(hdr),
+            Request::GetStats | Request::Wipe => None,
+        }
+    }
+
+    /// The propagated trace context, if any.
+    pub fn trace_ctx(&self) -> Option<TraceCtx> {
+        self.header().and_then(|h| h.trace)
+    }
+
+    /// Stamp (or clear) the trace context. The completion engine calls
+    /// this once per transmitted attempt, so retries of the same
+    /// request carry distinct attempt-span parents.
+    pub fn set_trace(&mut self, ctx: Option<TraceCtx>) {
+        match self {
+            Request::WriteData { hdr, .. }
+            | Request::WriteMirror { hdr, .. }
+            | Request::WriteParity { hdr, .. }
+            | Request::ParityRead { hdr, .. }
+            | Request::ParityReadLock { hdr, .. }
+            | Request::ParityWriteUnlock { hdr, .. }
+            | Request::ReadData { hdr, .. }
+            | Request::ReadMirror { hdr, .. }
+            | Request::ReadLatest { hdr, .. }
+            | Request::OverflowWrite { hdr, .. }
+            | Request::OverflowFetch { hdr, .. }
+            | Request::DumpOverflowTable { hdr, .. }
+            | Request::GetUsage { hdr }
+            | Request::EvictFile { hdr }
+            | Request::CompactOverflow { hdr }
+            | Request::OverflowQuery { hdr, .. }
+            | Request::InvalidateOverflowRange { hdr, .. } => hdr.trace = ctx,
+            Request::GetStats | Request::Wipe => {}
+        }
+    }
 }
 
 impl Response {
@@ -445,7 +521,7 @@ mod tests {
     use super::*;
 
     fn hdr() -> ReqHeader {
-        ReqHeader { fh: 1, layout: Layout::new(4, 64), scheme: Scheme::Hybrid }
+        ReqHeader::new(1, Layout::new(4, 64), Scheme::Hybrid)
     }
 
     #[test]
@@ -476,6 +552,28 @@ mod tests {
 
         let resp = Response::Data { payload: Payload::Phantom(500) };
         assert_eq!(resp.wire_size(), WIRE_HEADER + 500);
+    }
+
+    #[test]
+    fn trace_ctx_stamps_without_changing_wire_size() {
+        use csar_obs::trace::{SpanId, TraceId};
+        let mut req = Request::ReadData { hdr: hdr(), spans: vec![Span { logical_off: 0, len: 8 }] };
+        assert_eq!(req.trace_ctx(), None);
+        let before = req.wire_size();
+        let ctx = TraceCtx { trace: TraceId(5), span: SpanId(6) };
+        req.set_trace(Some(ctx));
+        assert_eq!(req.trace_ctx(), Some(ctx));
+        assert_eq!(req.header().unwrap().trace, Some(ctx));
+        // The context rides in the fixed header: no wire growth.
+        assert_eq!(req.wire_size(), before);
+        req.set_trace(None);
+        assert_eq!(req.trace_ctx(), None);
+
+        // Header-free requests tolerate (and ignore) stamping.
+        let mut stats = Request::GetStats;
+        stats.set_trace(Some(ctx));
+        assert_eq!(stats.trace_ctx(), None);
+        assert!(stats.header().is_none());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::layout::Span;
 use crate::locks::{Acquire, ParityLockTable};
 use crate::overflow::OverflowTable;
 use crate::proto::{ClientId, DiskCost, ReqHeader, Request, Response, ServerId};
+use csar_obs::trace::{derived_span, Phase, TraceCtx, TraceSpan};
 use csar_obs::{Ctr, Gauge, MetricsRegistry};
 use csar_store::{
     CacheModel, FromJson, Json, JsonError, LocalStore, Payload, StoreImage, StreamKind, ToJson,
@@ -185,6 +186,9 @@ struct Parked {
     group: u64,
     intra: u64,
     len: u64,
+    /// Executor timestamp ([`IoServer::handle_at`]'s `now_ns`) at park
+    /// time — the start of the waiter's §5.1 lock-wait trace span.
+    parked_at_ns: u64,
 }
 
 /// Output of [`IoServer::handle`].
@@ -201,6 +205,15 @@ pub enum Effect {
         resp: Response,
         /// Disk/cache activity performing the request required.
         cost: DiskCost,
+        /// Trace context of the request this reply answers (a woken
+        /// §5.1 waiter's reply carries the *waiter's* context, not the
+        /// unlocking writer's), so the executor can attribute its
+        /// queue/service spans without tracking request identity.
+        trace: Option<TraceCtx>,
+        /// For a woken §5.1 waiter: the lock-wait span (park → grant,
+        /// on the executor's clock). `Copy`, so the hot path carries it
+        /// without allocating.
+        lock_wait: Option<TraceSpan>,
     },
 }
 
@@ -332,13 +345,41 @@ impl IoServer {
     ///
     /// Zero effects means the request was parked on a parity lock; a
     /// later `ParityWriteUnlock` will produce its reply.
+    ///
+    /// Clock-free convenience for tests and callers that do not trace:
+    /// equivalent to [`Self::handle_at`] with `now_ns == 0`.
     pub fn handle(&mut self, from: ClientId, req_id: u64, req: Request) -> Vec<Effect> {
+        self.handle_at(from, req_id, req, 0)
+    }
+
+    /// Handle one request at executor time `now_ns` (nanoseconds since
+    /// the executor's trace epoch: the cluster start on a live
+    /// deployment, the virtual clock in the simulator). The engine is
+    /// clock-free; `now_ns` exists solely so §5.1 lock-wait trace spans
+    /// (park → grant) get timestamps coherent with the caller's other
+    /// spans.
+    pub fn handle_at(
+        &mut self,
+        from: ClientId,
+        req_id: u64,
+        req: Request,
+        now_ns: u64,
+    ) -> Vec<Effect> {
         self.stats.requests += 1;
         self.obs.inc(Ctr::SrvRequests);
+        let ctx = req.trace_ctx();
         let mut effects = Vec::with_capacity(1);
-        match self.dispatch(from, req_id, req, &mut effects) {
+        match self.dispatch(from, req_id, req, now_ns, &mut effects) {
             Ok(()) => {}
             Err(e) => effects.push(self.reply(from, req_id, Response::Err(e), DiskCost::default())),
+        }
+        // Stamp the dispatched request's context onto its own reply;
+        // woken-waiter replies were stamped with theirs at wake time.
+        for e in &mut effects {
+            let Effect::Reply { to, req_id: rid, trace, .. } = e;
+            if *to == from && *rid == req_id && trace.is_none() {
+                *trace = ctx;
+            }
         }
         effects
     }
@@ -347,7 +388,7 @@ impl IoServer {
         self.stats.replies += 1;
         self.obs.inc(Ctr::SrvReplies);
         self.stats.disk.merge(&cost);
-        Effect::Reply { to, req_id, resp, cost }
+        Effect::Reply { to, req_id, resp, cost, trace: None, lock_wait: None }
     }
 
     fn dispatch(
@@ -355,6 +396,7 @@ impl IoServer {
         from: ClientId,
         req_id: u64,
         req: Request,
+        now_ns: u64,
         effects: &mut Vec<Effect>,
     ) -> Result<(), CsarError> {
         match req {
@@ -438,7 +480,7 @@ impl IoServer {
                 // §5.1: acquire (or queue on) the parity lock, then serve
                 // the read. Queued requests produce no effect now.
                 self.map_parity(&hdr, group, intra)?; // validate before parking
-                let parked = Parked { from, req_id, hdr, group, intra, len };
+                let parked = Parked { from, req_id, hdr, group, intra, len, parked_at_ns: now_ns };
                 self.obs.inc(Ctr::SrvLockAcquisitions);
                 match self.locks.acquire((hdr.fh, group), parked) {
                     Acquire::Granted => {
@@ -465,9 +507,34 @@ impl IoServer {
                 // served now.
                 if let Some(next) = self.locks.release((hdr.fh, group)) {
                     self.obs.gauge_sub(Gauge::SrvParkedWaiters, 1);
+                    // §5.1 grant ordering is the one latency phase only
+                    // this state machine can see: the waiter parked at
+                    // `parked_at_ns` and is granted now. Emit its
+                    // lock-wait span under the *waiter's* context, both
+                    // into this server's trace ring (the extended
+                    // `GetStats` surface) and onto the reply effect for
+                    // the executor to piggyback.
+                    let lock_wait = next.hdr.trace.map(|ctx| TraceSpan {
+                        trace: ctx.trace,
+                        span: derived_span(ctx.span, Phase::LockWait),
+                        parent: ctx.span,
+                        phase: Phase::LockWait,
+                        start_ns: next.parked_at_ns,
+                        dur_ns: now_ns.saturating_sub(next.parked_at_ns),
+                        aux: self.id as u64,
+                    });
+                    if let Some(s) = &lock_wait {
+                        self.obs.record_trace(s);
+                    }
                     let (resp, cost) =
                         self.do_parity_read(&next.hdr, next.group, next.intra, next.len)?;
-                    effects.push(self.reply(next.from, next.req_id, resp, cost));
+                    let mut woken = self.reply(next.from, next.req_id, resp, cost);
+                    {
+                        let Effect::Reply { trace, lock_wait: lw, .. } = &mut woken;
+                        *trace = next.hdr.trace;
+                        *lw = lock_wait;
+                    }
+                    effects.push(woken);
                 }
             }
 
@@ -905,7 +972,7 @@ mod tests {
     const UNIT: u64 = 8;
 
     fn hdr(n: u32) -> ReqHeader {
-        ReqHeader { fh: 1, layout: Layout::new(n, UNIT), scheme: Scheme::Hybrid }
+        ReqHeader::new(1, Layout::new(n, UNIT), Scheme::Hybrid)
     }
 
     fn server(id: ServerId) -> IoServer {

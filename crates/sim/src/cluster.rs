@@ -10,6 +10,7 @@ use csar_core::manager::FileMeta;
 use csar_core::proto::{Request, Response, Scheme};
 use csar_core::server::{Effect as SrvEffect, IoServer, ServerConfig};
 use csar_core::Layout;
+use csar_obs::trace::{derived_span, Phase as TrPhase, SpanId, TraceCtx, TraceId, TraceSpan};
 use csar_store::{Bytes, Payload, SplitMix64};
 use std::collections::{HashMap, VecDeque};
 
@@ -93,6 +94,10 @@ struct OpTrace {
     in_flight: u64,
     max_in_flight: u64,
     stall_ns: u64,
+    /// Causal-trace ids of the op (0 when tracing is off): every span
+    /// the op produces carries `trace_id` and parents under `root`.
+    trace_id: u64,
+    root: u64,
 }
 
 struct ClientState {
@@ -104,6 +109,10 @@ struct ClientState {
     /// the whole in-flight wave has arrived (ingest time, token, reply).
     held: Vec<(u64, Token, Response)>,
     trace: OpTrace,
+    /// Tracing only: per in-flight request, the attempt's wire span id,
+    /// virtual send time and destination server (wire-RTT span at
+    /// delivery).
+    sent_spans: HashMap<u64, (SpanId, u64, u32)>,
     script: VecDeque<Op>,
     active: bool,
     /// Serialized client-side overhead charged before each op (the
@@ -175,6 +184,13 @@ pub struct SimCluster {
     /// long-lived buffer means measured phases time the byte pipeline,
     /// not the page allocator faulting in fresh payloads.
     pattern: Bytes,
+    /// Deterministic causal tracing on the virtual clock. Span and
+    /// trace ids come from sim-owned counters (never the process-global
+    /// allocators), so a replayed run emits bit-identical spans.
+    tracing: bool,
+    next_trace: u64,
+    next_span: u64,
+    traces: Vec<TraceSpan>,
     // Phase accounting.
     active_clients: usize,
     bytes_written: u64,
@@ -217,6 +233,7 @@ impl SimCluster {
                     pending: HashMap::new(),
                     held: Vec::new(),
                     trace: OpTrace::default(),
+                    sent_spans: HashMap::new(),
                     script: VecDeque::new(),
                     active: false,
                     op_overhead_ns: 0,
@@ -232,6 +249,10 @@ impl SimCluster {
             data_payloads: false,
             copy_datapath: false,
             pattern: Bytes::new(),
+            tracing: false,
+            next_trace: 0,
+            next_span: 0,
+            traces: Vec::new(),
             active_clients: 0,
             bytes_written: 0,
             bytes_read: 0,
@@ -393,6 +414,49 @@ impl SimCluster {
         csar_obs::global().set_enabled(on);
     }
 
+    /// Enable deterministic causal tracing: every subsequent op emits a
+    /// span tree on the virtual clock ([`SimCluster::take_traces`]).
+    /// Also flips the tracing gate on every simulated server registry
+    /// and the process-global one, so §5.1 lock-wait spans reach the
+    /// engines' trace rings exactly as in a live cluster.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        for s in &mut self.servers {
+            s.obs.set_tracing(on);
+        }
+        csar_obs::global().set_tracing(on);
+    }
+
+    /// Drain every span emitted since the last call (event order, which
+    /// is deterministic for a deterministic script).
+    pub fn take_traces(&mut self) -> Vec<TraceSpan> {
+        std::mem::take(&mut self.traces)
+    }
+
+    fn alloc_trace(&mut self) -> TraceId {
+        self.next_trace += 1;
+        TraceId(self.next_trace)
+    }
+
+    /// Sim span ids count up from 1 with the high bit clear; server-side
+    /// derived ids set the high bit, so the two spaces never collide.
+    fn alloc_span(&mut self) -> SpanId {
+        self.next_span += 1;
+        SpanId(self.next_span)
+    }
+
+    fn emit(&mut self, trace: u64, span: SpanId, parent: SpanId, phase: TrPhase, start: u64, end: u64, aux: u64) {
+        self.traces.push(TraceSpan {
+            trace: TraceId(trace),
+            span,
+            parent,
+            phase,
+            start_ns: start,
+            dur_ns: end.saturating_sub(start),
+            aux,
+        });
+    }
+
     /// Merged metrics snapshot: every server's registry plus the
     /// process-global client-driver registry.
     pub fn metrics_snapshot(&self) -> csar_obs::Snapshot {
@@ -414,7 +478,7 @@ impl SimCluster {
 
     fn hdr(&self, file: usize) -> csar_core::proto::ReqHeader {
         let m = &self.files[file];
-        csar_core::proto::ReqHeader { fh: m.fh, layout: m.layout, scheme: m.scheme }
+        csar_core::proto::ReqHeader::new(m.fh, m.layout, m.scheme)
     }
 
     /// Run one barrier-delimited phase to completion.
@@ -521,6 +585,12 @@ impl SimCluster {
             }
             token
         };
+        if self.tracing {
+            if let Some((span, sent, srv)) = self.clients[c].sent_spans.remove(&req_id) {
+                let tr = self.clients[c].trace;
+                self.emit(tr.trace_id, span, SpanId(tr.root), TrPhase::WireRtt, sent, self.now, srv as u64);
+            }
+        }
         if !self.barrier {
             let effects = {
                 let driver = self.clients[c].driver.as_mut().expect("no driver");
@@ -593,8 +663,14 @@ impl SimCluster {
             }
         };
         let effects = driver.poll(Completion::Begin);
+        let (trace_id, root) = if self.tracing {
+            (self.alloc_trace().0, self.alloc_span().0)
+        } else {
+            (0, 0)
+        };
         self.clients[c].driver = Some(driver);
-        self.clients[c].trace = OpTrace { started: self.now, ..OpTrace::default() };
+        self.clients[c].trace =
+            OpTrace { started: self.now, trace_id, root, ..OpTrace::default() };
         // Account logical bytes on op start; completion is what gates the
         // phase end.
         match op {
@@ -610,7 +686,7 @@ impl SimCluster {
         let p = self.profile;
         for e in effects {
             match e {
-                Effect::Send { token, srv, req } => {
+                Effect::Send { token, srv, mut req } => {
                     let req_id = self.next_req;
                     self.next_req += 1;
                     self.clients[c].pending.insert(req_id, token);
@@ -618,6 +694,15 @@ impl SimCluster {
                     tr.requests += 1;
                     tr.in_flight += 1;
                     tr.max_in_flight = tr.max_in_flight.max(tr.in_flight);
+                    if self.tracing {
+                        // Stamp the attempt's wire span on the request so
+                        // server-side spans parent under it; the span
+                        // itself is emitted at delivery.
+                        let span = self.alloc_span();
+                        let tr = self.clients[c].trace;
+                        req.set_trace(Some(TraceCtx { trace: TraceId(tr.trace_id), span }));
+                        self.clients[c].sent_spans.insert(req_id, (span, self.now, srv));
+                    }
                     let size = req.wire_size();
                     let t0 = self.clients[c].res.cpu.acquire(
                         self.now,
@@ -639,6 +724,11 @@ impl SimCluster {
                         .res
                         .cpu
                         .acquire(self.now, transfer_ns(bytes, self.profile.xor_bw));
+                    if self.tracing {
+                        let tr = self.clients[c].trace;
+                        let span = self.alloc_span();
+                        self.emit(tr.trace_id, span, SpanId(tr.root), TrPhase::Xor, self.now, t, bytes);
+                    }
                     self.queue.push(t, Ev::ComputeDone { c, token });
                 }
                 Effect::Done(result) => {
@@ -652,6 +742,17 @@ impl SimCluster {
                     self.max_in_flight = self.max_in_flight.max(tr.max_in_flight);
                     self.ttfb_ns += tr.first_reply.map_or(0, |t| t - tr.started);
                     self.stall_ns += tr.stall_ns;
+                    if self.tracing && tr.trace_id != 0 {
+                        self.emit(
+                            tr.trace_id,
+                            SpanId(tr.root),
+                            SpanId::NONE,
+                            TrPhase::Op,
+                            tr.started,
+                            self.now,
+                            tr.requests,
+                        );
+                    }
                     self.queue.push(self.now, Ev::ClientNext(c));
                 }
             }
@@ -681,8 +782,25 @@ impl SimCluster {
         } else {
             fully_arrived + p.server_per_msg_ns
         } + self.slowdown_ns[s];
-        let effects = self.servers[s].handle(from, req_id, req);
-        for SrvEffect::Reply { to, req_id, resp, cost } in effects {
+        let ctx = req.trace_ctx();
+        // The engine sees the virtual service-gate time, so §5.1
+        // lock-wait spans are parked and granted on the virtual clock.
+        let effects = self.servers[s].handle_at(from, req_id, req, gate);
+        if self.tracing {
+            if let Some(cx) = ctx {
+                // Ingest + queueing: first byte to service gate.
+                self.emit(
+                    cx.trace.0,
+                    derived_span(cx.span, TrPhase::SrvQueue),
+                    cx.span,
+                    TrPhase::SrvQueue,
+                    self.now,
+                    gate,
+                    s as u64,
+                );
+            }
+        }
+        for SrvEffect::Reply { to, req_id, resp, cost, trace, lock_wait } in effects {
             // Disk activity: synchronous pre-reads first, then buffered
             // writes (possibly throttled by the dirty limit).
             let t2 = if cost.disk_read_bytes > 0 || cost.disk_read_ops > 0 {
@@ -695,6 +813,24 @@ impl SimCluster {
             } else {
                 t2
             };
+            if self.tracing {
+                if let Some(w) = lock_wait {
+                    self.traces.push(w);
+                }
+                if let Some(cx) = trace {
+                    // Disk service of this reply (for a woken waiter, the
+                    // slice of the unlocking dispatch that served it).
+                    self.emit(
+                        cx.trace.0,
+                        derived_span(cx.span, TrPhase::Service),
+                        cx.span,
+                        TrPhase::Service,
+                        gate,
+                        t3,
+                        s as u64,
+                    );
+                }
+            }
             // Egress: CPU copy for the reply payload on the egress lane,
             // then the wire. Payload-free acks ride the socket directly.
             let out_bytes = resp.payload_bytes();
@@ -921,6 +1057,55 @@ mod tests {
             s.run_phase(phase).duration_ns
         };
         assert_eq!(run(), run());
+    }
+
+    /// Tracing on the virtual clock: two identical runs emit
+    /// bit-identical span streams, every span carries a known phase, and
+    /// every child interval nests inside its parent's (the property the
+    /// Chrome-trace exporter relies on).
+    #[test]
+    fn tracing_is_deterministic_and_spans_nest() {
+        let run = || {
+            let mut s = sim(5, 2);
+            s.set_tracing(true);
+            let f = s.create_file("f", Scheme::Raid5, 32 * 1024);
+            // Overlapping partial writes on a shared stripe so §5.1
+            // lock-wait spans show up too.
+            let phase: Phase = (0..2usize)
+                .map(|c| {
+                    (c, (0..6u64)
+                        .map(|i| Op::Write { file: f, off: i * 32 * 1024, len: 32 * 1024 })
+                        .collect())
+                })
+                .collect();
+            s.run_phase(phase);
+            let spans = s.take_traces();
+            s.set_tracing(false);
+            spans
+        };
+        let (a, b) = (run(), run());
+        assert!(!a.is_empty(), "tracing must emit spans");
+        assert_eq!(a, b, "virtual-clock traces must replay bit-identically");
+
+        use csar_obs::trace::Phase as P;
+        assert!(a.iter().any(|s| s.phase == P::Op));
+        assert!(a.iter().any(|s| s.phase == P::WireRtt));
+        assert!(a.iter().any(|s| s.phase == P::SrvQueue));
+        assert!(a.iter().any(|s| s.phase == P::Service));
+        assert!(a.iter().any(|s| s.phase == P::LockWait), "shared stripe must park a waiter");
+
+        let by_id: HashMap<u64, &TraceSpan> = a.iter().map(|s| (s.span.0, s)).collect();
+        let mut checked = 0;
+        for s in &a {
+            if s.parent == SpanId::NONE {
+                continue;
+            }
+            let p = by_id.get(&s.parent.0).expect("parent span must be emitted");
+            assert!(s.start_ns >= p.start_ns, "{:?} starts before parent {:?}", s, p);
+            assert!(s.end_ns() <= p.end_ns(), "{:?} ends after parent {:?}", s, p);
+            checked += 1;
+        }
+        assert!(checked > 0);
     }
 
     #[test]

@@ -50,12 +50,55 @@ if [ "$zeroed" -ne 2 ]; then
 fi
 grep '"overhead_pct"' "$obs_smoke" | sed 's/^ */tier1: obs /'
 echo "tier1: obs steady-state allocations: 0 (gate ok)"
+# Causal-tracing smoke (DESIGN.md §15): a scaled-down run of the
+# tracing-on vs tracing-off ablation. The two allocation audits
+# (record_trace with tracing disabled and enabled) are exact, so the
+# gate is hard: both must stay at zero steady-state allocations. The
+# Chrome trace_event export must also round-trip through its own parser
+# bit-for-bit (`roundtrip_ok`). The wall-clock overhead column is
+# host-dependent and therefore reported, not gated (regenerate the
+# committed full-scale BENCH_trace.json with
+# `figures --bench-json BENCH_trace.json`).
+trace_smoke=$(mktemp /tmp/BENCH_trace_smoke.XXXXXX.json)
+trap 'rm -f "$smoke" "$obs_smoke" "$trace_smoke"' EXIT
+cargo run -q --release -p csar-bench --bin figures -- --bench-json "$trace_smoke" --scale 0.25
+zeroed=$(grep -c '"steady_allocs": 0' "$trace_smoke" || true)
+if [ "$zeroed" -ne 2 ]; then
+    echo "tier1: FAIL — a trace-path steady-state allocation audit regressed above zero" >&2
+    grep '"steady_allocs"' "$trace_smoke" >&2
+    exit 1
+fi
+grep -q '"roundtrip_ok": true' "$trace_smoke" || {
+    echo "tier1: FAIL — Chrome trace export no longer round-trips" >&2
+    exit 1
+}
+grep '"overhead_pct"' "$trace_smoke" | sed 's/^ */tier1: trace /'
+echo "tier1: trace steady-state allocations: 0, Chrome export round-trips (gate ok)"
+# Trace exporter end-to-end smoke: the trace binary collects spans from
+# a deterministic sim run, validates nesting, writes Chrome trace_event
+# JSON and re-parses it; it exits nonzero on any nesting or round-trip
+# failure.
+chrome_smoke=$(mktemp /tmp/chrome_trace_smoke.XXXXXX.json)
+trap 'rm -f "$smoke" "$obs_smoke" "$trace_smoke" "$chrome_smoke"' EXIT
+cargo run -q --release -p csar-bench --bin trace -- "$chrome_smoke" --scale 0.1 > /dev/null
+grep -q '"traceEvents"' "$chrome_smoke" || {
+    echo "tier1: FAIL — trace exporter wrote no traceEvents" >&2
+    exit 1
+}
+echo "tier1: trace exporter: spans nest, Chrome JSON round-trips (gate ok)"
 # Live-cluster metrics smoke: the stats binary runs a mixed workload on
 # a threaded cluster, scrapes every node through GetStats, and exits
 # nonzero unless the merged snapshot parses back bit-for-bit and the
 # engine balance invariant (issued == delivered + retried + timeouts +
-# abandoned) holds.
-cargo run -q --release -p csar-bench --bin stats > /dev/null
+# abandoned) holds. --json-out exercises the snapshot file path that
+# scripts consume.
+stats_out=$(mktemp /tmp/stats_snapshot.XXXXXX.json)
+trap 'rm -f "$smoke" "$obs_smoke" "$trace_smoke" "$chrome_smoke" "$stats_out"' EXIT
+cargo run -q --release -p csar-bench --bin stats -- --json-out "$stats_out" > /dev/null
+grep -q '"counters"' "$stats_out" || {
+    echo "tier1: FAIL — stats --json-out wrote no counters" >&2
+    exit 1
+}
 echo "tier1: live metrics scrape: snapshot round-trips, engine balanced (gate ok)"
 # §6.7 cleaner regressions (group-precision, tail reclaim, lost-update
 # race): already part of `cargo test -q` above, re-run here by name so
